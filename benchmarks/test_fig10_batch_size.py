@@ -1,0 +1,60 @@
+"""Figure 10: training curves for batch sizes on CIFAR-10, Dir(0.5).
+
+The paper varies B from 16 to 256 and finds (Finding 6) that larger
+batches slow learning in FL just as they do centrally, uniformly across
+algorithms.  Reduced scale: B in {8, 16, 32, 64} for FedAvg, plus a small
+cross-check that FedProx behaves the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_federated_experiment
+from repro.experiments.scale import ScalePreset
+
+from conftest import emit, format_curves, run_once
+
+BATCHES = (8, 16, 32, 64)
+
+
+def run_sweep():
+    curves = {}
+    for algorithm in ("fedavg", "fedprox"):
+        for batch in BATCHES:
+            preset = ScalePreset(
+                name="fig10",
+                n_train=600,
+                n_test=300,
+                num_rounds=8,
+                local_epochs=3,
+                batch_size=batch,
+            )
+            outcome = run_federated_experiment(
+                "cifar10",
+                "dir(0.5)",
+                algorithm,
+                preset=preset,
+                seed=5,
+                algorithm_kwargs={"mu": 0.01} if algorithm == "fedprox" else None,
+            )
+            curves[f"{algorithm} B={batch}"] = outcome.history.accuracies
+    return curves
+
+
+def test_fig10_batch_size(benchmark, capsys):
+    curves = run_once(benchmark, run_sweep)
+    emit("fig10_batch_size", format_curves(curves), capsys)
+
+    # Finding 6: a large batch size slows down learning — early-round
+    # accuracy decreases with batch size (fewer SGD steps per epoch).
+    early = slice(0, 4)
+    small = np.nanmean(curves["fedavg B=8"][early])
+    large = np.nanmean(curves["fedavg B=64"][early])
+    assert small > large
+
+    # And the batch-size behaviour is algorithm-agnostic: FedProx shows
+    # the same ordering.
+    small_prox = np.nanmean(curves["fedprox B=8"][early])
+    large_prox = np.nanmean(curves["fedprox B=64"][early])
+    assert small_prox > large_prox

@@ -1,0 +1,65 @@
+"""Figure 11: VGG-9 vs ResNet (batch norm) on CIFAR-10 partitions.
+
+The paper's Finding 7: VGG-9 (no BN) behaves under non-IID skew, while
+ResNet's averaged batch-norm layers mis-normalize and destabilize
+training.  At our reduced scale the pathology manifests as *stalled
+convergence*: the BN model stops improving under strong label skew (its
+averaged statistics no longer match any party's distribution) while VGG-9
+keeps climbing.  Reduced scale: narrow VGG-9 vs ResNet-8 (same BN code
+path as ResNet-50), dir(0.1) vs iid, 10 rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.federated import FedAvg, FederatedConfig, FederatedServer, make_clients
+from repro.models import build_model
+from repro.partition import parse_strategy
+
+from conftest import emit, format_curves, run_once
+
+PARTITIONS = ("dir(0.1)", "iid")
+ROUNDS = 10
+
+
+def run_pair():
+    train, test, info = load_dataset("cifar10", n_train=600, n_test=300, seed=5)
+    curves = {}
+    for partition in PARTITIONS:
+        part = parse_strategy(partition).partition(train, 10, np.random.default_rng(5))
+        for model_name, kwargs in (("vgg9", {"width": 0.25}), ("resnet8", {})):
+            clients = make_clients(part, train, seed=5, drop_empty=True)
+            model = build_model(model_name, info, seed=5, **kwargs)
+            config = FederatedConfig(
+                num_rounds=ROUNDS, local_epochs=3, batch_size=32, lr=0.03, seed=5
+            )
+            server = FederatedServer(model, FedAvg(), clients, config, test_dataset=test)
+            history = server.fit()
+            curves[f"{model_name} {partition}"] = history.accuracies
+    return curves
+
+
+def _late_improvement(series: np.ndarray) -> float:
+    """Mean of the last 3 rounds minus mean of rounds 3-5 (learning trend)."""
+    return float(np.nanmean(series[-3:]) - np.nanmean(series[3:6]))
+
+
+def test_fig11_model_architectures(benchmark, capsys):
+    curves = run_once(benchmark, run_pair)
+    trends = {label: _late_improvement(series) for label, series in curves.items()}
+    text = format_curves(curves) + "\n\nlate-phase improvement:\n" + "\n".join(
+        f"  {k}: {v:+.4f}" for k, v in trends.items()
+    )
+    emit("fig11_model_architectures", text, capsys)
+
+    # Both models learn something under both partitions.
+    for label, series in curves.items():
+        assert np.nanmax(series) > 0.2, label
+
+    # Finding 7 (shape at this scale): the BN model is hurt by skew —
+    # its final accuracy under dir(0.1) trails its own IID run...
+    assert curves["resnet8 dir(0.1)"][-1] < curves["resnet8 iid"][-1] - 0.03
+    # ...and it stalls while VGG keeps improving under the same skew.
+    assert trends["vgg9 dir(0.1)"] > trends["resnet8 dir(0.1)"] + 0.03

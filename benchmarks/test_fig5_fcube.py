@@ -1,0 +1,57 @@
+"""Figure 5: the FCUBE dataset and its feature-skew partition.
+
+The paper visualizes eight octant cubes colored by party; labels split by
+the x1=0 plane.  We print the octant/party/label occupancy table and check
+the geometry: every party holds exactly two origin-symmetric octants and a
+balanced label distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.data.synthetic.fcube import octant_of
+from repro.partition import FCubePartitioner
+
+from conftest import emit, run_once
+
+
+def build_example():
+    train, _, _ = load_dataset("fcube", seed=0)
+    part = FCubePartitioner().partition(train, 4, np.random.default_rng(0))
+    octants = octant_of(train.features)
+
+    lines = ["octant (x1,x2,x3 signs) -> party, size, label-0 fraction"]
+    octant_party = {}
+    for party, idx in enumerate(part.indices):
+        for octant in np.unique(octants[idx]):
+            octant_party[int(octant)] = party
+    label0 = []
+    for octant in range(8):
+        bits = f"({'+' if octant & 4 else '-'},{'+' if octant & 2 else '-'},{'+' if octant & 1 else '-'})"
+        members = octants == octant
+        frac0 = float((train.labels[members] == 0).mean())
+        label0.append(frac0)
+        lines.append(
+            f"octant {octant} {bits}: party {octant_party[octant]}, "
+            f"n={int(members.sum()):4d}, label0={frac0:.2f}"
+        )
+    for party, idx in enumerate(part.indices):
+        frac0 = float((train.labels[idx] == 0).mean())
+        lines.append(f"party {party}: n={len(idx):4d}, label0 fraction={frac0:.3f}")
+    return "\n".join(lines), part, octants, train
+
+
+def test_fig5_fcube(benchmark, capsys):
+    text, part, octants, train = run_once(benchmark, build_example)
+    emit("fig5_fcube", text, capsys)
+    # Each party holds exactly two octants, and they are complements.
+    for idx in part.indices:
+        owned = sorted(np.unique(octants[idx]))
+        assert len(owned) == 2
+        assert owned[0] + owned[1] == 7
+    # Labels balanced per party (Figure 5: "labels are still balanced").
+    for idx in part.indices:
+        frac0 = (train.labels[idx] == 0).mean()
+        assert abs(frac0 - 0.5) < 0.08

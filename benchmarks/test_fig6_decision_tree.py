@@ -1,0 +1,40 @@
+"""Figure 6: the decision tree recommending an algorithm per setting.
+
+Prints the tree's input/output table over the paper's settings and checks
+the recommendations match Figure 6 (feature skew -> SCAFFOLD, extreme
+label skew or quantity skew -> FedProx, otherwise FedAvg).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import recommend_algorithm
+
+from conftest import emit, run_once
+
+EXPECTED = {
+    "gau(0.1)": "scaffold",
+    "fcube": "scaffold",
+    "real-world": "scaffold",
+    "#C=1": "fedprox",
+    "#C=2": "fedavg",
+    "#C=3": "fedavg",
+    "dir(0.5)": "fedavg",
+    "dir(0.05)": "fedprox",
+    "quantity(0.5)": "fedprox",
+    "iid": "fedavg",
+}
+
+
+def build_tree_table() -> tuple[str, dict]:
+    got = {spec: recommend_algorithm(spec) for spec in EXPECTED}
+    lines = [f"{'setting':14s} | recommendation"]
+    lines.append("-" * 32)
+    for spec, algo in got.items():
+        lines.append(f"{spec:14s} | {algo}")
+    return "\n".join(lines), got
+
+
+def test_fig6_decision_tree(benchmark, capsys):
+    text, got = run_once(benchmark, build_tree_table)
+    emit("fig6_decision_tree", text, capsys)
+    assert got == EXPECTED

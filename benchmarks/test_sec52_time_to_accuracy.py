@@ -1,0 +1,70 @@
+"""Section 5.2 supplement: time-to-accuracy under a system model.
+
+Round-count comparisons hide communication costs; replaying the same runs
+under a wall-clock model (compute time per step + payload transfer time)
+shows them.  With a constrained network, SCAFFOLD's doubled payload
+(Section 3.3) makes each of its rounds slower, so even equal per-round
+accuracy costs more wall-clock time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_federated_experiment
+from repro.experiments.scale import ScalePreset
+from repro.federated import SystemModel
+
+from conftest import emit, run_once
+
+PRESET = ScalePreset(
+    name="tta", n_train=600, n_test=300, num_rounds=8, local_epochs=3, batch_size=32
+)
+#: constrained uplink: 1 MB/s makes the CNN's ~3.5 MB round payload bite
+NETWORK = SystemModel(step_time=0.02, default_bandwidth=1e6)
+TARGET = 0.9
+
+
+def run_comparison():
+    rows = {}
+    for algorithm in ("fedavg", "fedprox", "scaffold"):
+        outcome = run_federated_experiment(
+            "mnist",
+            "dir(0.5)",
+            algorithm,
+            preset=PRESET,
+            seed=13,
+            algorithm_kwargs={"mu": 0.01} if algorithm == "fedprox" else None,
+        )
+        history = outcome.history
+        rows[algorithm] = {
+            "round_seconds": float(NETWORK.replay(history)[0]),
+            "time_to_target": NETWORK.time_to_accuracy(history, TARGET),
+            "final": history.final_accuracy,
+        }
+    return rows
+
+
+def test_sec52_time_to_accuracy(benchmark, capsys):
+    rows = run_once(benchmark, run_comparison)
+    lines = [
+        f"system model: {NETWORK.step_time * 1000:.0f} ms/step, "
+        f"{NETWORK.default_bandwidth / 1e6:.0f} MB/s links, target {TARGET:.0%}",
+        f"{'algorithm':9s} | {'s/round':>8s} | {'s to target':>11s} | {'final':>6s}",
+        "-" * 48,
+    ]
+    for algorithm, row in rows.items():
+        tta = "never" if np.isinf(row["time_to_target"]) else f"{row['time_to_target']:.1f}"
+        lines.append(
+            f"{algorithm:9s} | {row['round_seconds']:8.1f} | {tta:>11s} | "
+            f"{row['final']:6.3f}"
+        )
+    emit("sec52_time_to_accuracy", "\n".join(lines), capsys)
+
+    # SCAFFOLD's rounds are strictly slower under a constrained network.
+    assert rows["scaffold"]["round_seconds"] > rows["fedavg"]["round_seconds"]
+    # FedProx rounds cost the same as FedAvg's.
+    assert rows["fedprox"]["round_seconds"] == rows["fedavg"]["round_seconds"]
+    # Everyone eventually reaches the (easy) target here.
+    for algorithm, row in rows.items():
+        assert np.isfinite(row["time_to_target"]), algorithm

@@ -1,0 +1,68 @@
+"""Table 1: partitioning strategies covered by prior work vs NIID-Bench.
+
+The table itself is a static capability matrix; this bench verifies the
+claim programmatically — every strategy in the NIID-Bench column must be
+constructible and runnable by this library — then prints the matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import ArrayDataset
+from repro.partition import parse_strategy
+
+from conftest import emit, run_once
+
+PRIOR_WORK = {
+    # strategy row -> which prior systems exercised it (from the paper)
+    "label skew / quantity-based": {"FedAvg", "FedProx"},
+    "label skew / distribution-based": {"SCAFFOLD", "FedNova"},
+    "feature skew / noise-based": set(),
+    "feature skew / synthetic": {"FedProx"},
+    "feature skew / real-world": {"FedProx"},
+    "quantity skew": {"FedNova"},
+}
+
+NIID_BENCH_SPECS = {
+    "label skew / quantity-based": "#C=2",
+    "label skew / distribution-based": "dir(0.5)",
+    "feature skew / noise-based": "gau(0.1)",
+    "feature skew / synthetic": "fcube",
+    "feature skew / real-world": "real-world",
+    "quantity skew": "quantity(0.5)",
+}
+
+SYSTEMS = ("FedAvg", "FedProx", "SCAFFOLD", "FedNova", "NIID-Bench")
+
+
+def build_matrix() -> str:
+    # Prove the NIID-Bench column: every spec parses into a partitioner.
+    for spec in NIID_BENCH_SPECS.values():
+        parse_strategy(spec)
+    # And the generic ones actually partition a dataset.
+    rng = np.random.default_rng(0)
+    ds = ArrayDataset(
+        rng.standard_normal((100, 4)).astype(np.float32),
+        (np.arange(100) % 10).astype(np.int64),
+    )
+    for spec in ("#C=2", "dir(0.5)", "gau(0.1)", "quantity(0.5)"):
+        parse_strategy(spec).partition(ds, 10, rng).validate(100)
+
+    width = max(len(row) for row in PRIOR_WORK) + 2
+    header = "strategy".ljust(width) + " | " + " | ".join(f"{s:>10s}" for s in SYSTEMS)
+    lines = [header, "-" * len(header)]
+    for row, systems in PRIOR_WORK.items():
+        cells = []
+        for system in SYSTEMS:
+            covered = system == "NIID-Bench" or system in systems
+            cells.append(f"{'yes' if covered else '-':>10s}")
+        lines.append(row.ljust(width) + " | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def test_table1_settings_matrix(benchmark, capsys):
+    text = run_once(benchmark, build_matrix)
+    emit("table1_settings_matrix", text, capsys)
+    # NIID-Bench covers everything; each prior system covers only a part.
+    assert all("yes" in line.split("|")[-1] for line in text.splitlines()[2:])

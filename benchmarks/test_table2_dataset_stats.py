@@ -1,0 +1,55 @@
+"""Table 2: statistics of the nine datasets.
+
+Prints the paper's columns (#training instances, #test instances,
+#features, #classes) twice: the paper-scale numbers this library would use
+with ``paper_scale=True``, and the reduced-scale defaults the benchmarks
+actually generate.
+"""
+
+from __future__ import annotations
+
+from repro.data import DATASET_NAMES, load_dataset
+from repro.data.registry import paper_sizes
+
+from conftest import emit, run_once
+
+# The paper's Table 2 (#features is the flattened input dimension).
+PAPER_TABLE2 = {
+    "mnist": (60_000, 10_000, 784, 10),
+    "fmnist": (60_000, 10_000, 784, 10),
+    "cifar10": (50_000, 10_000, 1_024, 10),
+    "svhn": (73_257, 26_032, 1_024, 10),
+    "adult": (32_561, 16_281, 123, 2),
+    "rcv1": (15_182, 5_060, 47_236, 2),
+    "covtype": (435_759, 145_253, 54, 2),
+    "fcube": (4_000, 1_000, 3, 2),
+    "femnist": (341_873, 40_832, 784, 10),
+}
+
+
+def build_table() -> str:
+    lines = [
+        f"{'dataset':8s} | {'paper train':>11s} {'paper test':>10s} "
+        f"{'paper #feat':>11s} | {'gen train':>9s} {'gen test':>8s} "
+        f"{'gen #feat':>9s} {'#classes':>8s}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for name in DATASET_NAMES:
+        train, test, info = load_dataset(name, seed=0)
+        p_train, p_test = paper_sizes(name)
+        paper_feat = PAPER_TABLE2[name][2]
+        lines.append(
+            f"{name:8s} | {p_train:>11,d} {p_test:>10,d} {paper_feat:>11,d} | "
+            f"{len(train):>9,d} {len(test):>8,d} {info.num_features:>9,d} "
+            f"{info.num_classes:>8d}"
+        )
+        # Consistency with the paper's structural columns.
+        assert info.num_classes == PAPER_TABLE2[name][3]
+        assert (p_train, p_test) == PAPER_TABLE2[name][:2]
+    return "\n".join(lines)
+
+
+def test_table2_dataset_stats(benchmark, capsys):
+    text = run_once(benchmark, build_table)
+    emit("table2_dataset_stats", text, capsys)
+    assert "femnist" in text

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (this offline environment lacks it, so PEP 660 builds fail)."""
+
+from setuptools import setup
+
+setup()

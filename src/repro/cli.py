@@ -1,0 +1,223 @@
+"""Command-line interface, mirroring the original NIID-Bench entry point.
+
+Usage::
+
+    python -m repro run --dataset cifar10 --partition "#C=2" \\
+        --alg fedprox --mu 0.01 --comm-round 20 --epochs 5
+    python -m repro partition-report --dataset mnist --partition "dir(0.5)"
+    python -m repro recommend --partition "gau(0.1)"
+    python -m repro datasets
+    python -m repro trials --dataset adult --partition iid --alg fedavg -n 3
+
+Flag names follow the original repository where they exist
+(``--alg``, ``--comm-round``, ``--epochs``, ``--mu``, ``--beta`` map onto
+NIID-Bench's arguments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.data import DATASET_NAMES, load_dataset
+from repro.experiments import recommend_algorithm, run_federated_experiment, run_trials
+from repro.experiments.scale import BENCH, PRESETS
+from repro.federated.algorithms import ALGORITHM_NAMES
+from repro.partition import parse_strategy, stats
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NIID-Bench reproduction: federated learning on non-IID silos",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one federated experiment")
+    _add_experiment_args(run)
+
+    trials = commands.add_parser("trials", help="mean +- std over repeated seeds")
+    _add_experiment_args(trials)
+    trials.add_argument("-n", "--num-trials", type=int, default=3)
+
+    report = commands.add_parser(
+        "partition-report", help="partition a dataset and print skew statistics"
+    )
+    report.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    report.add_argument("--partition", required=True)
+    report.add_argument("--n-parties", type=int, default=None)
+    report.add_argument("--n-train", type=int, default=None)
+    report.add_argument("--init-seed", type=int, default=0)
+
+    recommend = commands.add_parser(
+        "recommend", help="Figure 6 decision tree: best algorithm for a setting"
+    )
+    recommend.add_argument("--partition", required=True)
+
+    commands.add_parser("datasets", help="list available datasets")
+
+    table3 = commands.add_parser(
+        "table3", help="run a slice of the paper's Table 3 matrix"
+    )
+    table3.add_argument("--datasets", nargs="*", default=None, choices=DATASET_NAMES)
+    table3.add_argument("--partitions", nargs="*", default=None)
+    table3.add_argument(
+        "--algs", nargs="*", default=list(ALGORITHM_NAMES[:4]), choices=ALGORITHM_NAMES
+    )
+    table3.add_argument("--preset", default="smoke", choices=sorted(PRESETS))
+    table3.add_argument("-n", "--num-trials", type=int, default=1)
+    table3.add_argument("--init-seed", type=int, default=0)
+    table3.add_argument("--save", default=None, help="write leaderboard JSON here")
+    return parser
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    parser.add_argument("--partition", required=True, help='e.g. "iid", "#C=2", "dir(0.5)"')
+    parser.add_argument("--alg", required=True, choices=ALGORITHM_NAMES)
+    parser.add_argument("--model", default="default")
+    parser.add_argument("--n-parties", type=int, default=None)
+    parser.add_argument("--comm-round", type=int, default=None, help="rounds T")
+    parser.add_argument("--epochs", type=int, default=None, help="local epochs E")
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--lr", type=float, default=None)
+    parser.add_argument("--mu", type=float, default=0.01, help="FedProx mu")
+    parser.add_argument(
+        "--optimizer", default="sgd", choices=("sgd", "adam", "amsgrad"),
+        help="local optimizer (NIID-Bench's --optimizer)",
+    )
+    parser.add_argument("--sample", type=float, default=1.0, help="party fraction per round")
+    parser.add_argument(
+        "--party-sampler", default="uniform", choices=("uniform", "stratified"),
+        help="party sampling policy under partial participation",
+    )
+    parser.add_argument("--preset", default="bench", choices=sorted(PRESETS))
+    parser.add_argument("--init-seed", type=int, default=0)
+    parser.add_argument(
+        "--plot", action="store_true", help="render an ASCII accuracy chart"
+    )
+
+
+def _experiment_kwargs(args) -> dict:
+    algorithm_kwargs = {"mu": args.mu} if args.alg == "fedprox" else None
+    return dict(
+        dataset=args.dataset,
+        partition=args.partition,
+        algorithm=args.alg,
+        model=args.model,
+        num_parties=args.n_parties,
+        preset=PRESETS[args.preset],
+        num_rounds=args.comm_round,
+        local_epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        sample_fraction=args.sample,
+        sampler=args.party_sampler,
+        optimizer=args.optimizer,
+        algorithm_kwargs=algorithm_kwargs,
+    )
+
+
+def cmd_run(args) -> int:
+    outcome = run_federated_experiment(seed=args.init_seed, **_experiment_kwargs(args))
+    for record in outcome.history.records:
+        accuracy = "-" if record.test_accuracy is None else f"{record.test_accuracy:.4f}"
+        print(
+            f"round {record.round_index:3d}  acc {accuracy}  "
+            f"loss {record.train_loss:.4f}  parties {len(record.participants)}"
+        )
+    print(f"final accuracy: {outcome.final_accuracy:.4f}")
+    print(f"best accuracy:  {outcome.best_accuracy:.4f}")
+    mb = outcome.history.cumulative_communication()[-1] / 1e6
+    print(f"communication:  {mb:.1f} MB")
+    if args.plot:
+        from repro.experiments.plotting import line_chart
+
+        rounds, accuracies = outcome.history.curve()
+        print()
+        print(line_chart({args.alg: accuracies}))
+    return 0
+
+
+def cmd_trials(args) -> int:
+    kwargs = _experiment_kwargs(args)
+    dataset = kwargs.pop("dataset")
+    partition = kwargs.pop("partition")
+    algorithm = kwargs.pop("algorithm")
+    summary = run_trials(
+        dataset,
+        partition,
+        algorithm,
+        num_trials=args.num_trials,
+        base_seed=args.init_seed,
+        **kwargs,
+    )
+    print(f"{dataset} / {partition} / {algorithm}: {summary.format_cell()}")
+    return 0
+
+
+def cmd_partition_report(args) -> int:
+    kwargs = {}
+    if args.n_train is not None:
+        kwargs["n_train"] = args.n_train
+    train, _, info = load_dataset(args.dataset, seed=args.init_seed, **kwargs)
+    partitioner = parse_strategy(args.partition)
+    num_parties = args.n_parties or partitioner.default_num_parties
+    partition = partitioner.partition(
+        train, num_parties, np.random.default_rng(args.init_seed)
+    )
+    print(stats.report(partition, train.labels, info.num_classes).to_text())
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    print(recommend_algorithm(args.partition))
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    for name in DATASET_NAMES:
+        print(name)
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from repro.experiments.table3 import run_table3
+
+    def progress(dataset, partition, algorithm, summary):
+        print(f"{dataset} / {partition} / {algorithm}: {summary.format_cell()}")
+
+    board = run_table3(
+        datasets=args.datasets,
+        partitions=args.partitions,
+        algorithms=tuple(args.algs),
+        preset=PRESETS[args.preset],
+        num_trials=args.num_trials,
+        base_seed=args.init_seed,
+        progress=progress,
+    )
+    print()
+    print(board.render())
+    if args.save:
+        board.save(args.save)
+        print(f"\nsaved leaderboard to {args.save}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": cmd_run,
+        "trials": cmd_trials,
+        "partition-report": cmd_partition_report,
+        "recommend": cmd_recommend,
+        "datasets": cmd_datasets,
+        "table3": cmd_table3,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

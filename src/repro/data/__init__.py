@@ -1,0 +1,21 @@
+"""Datasets, loaders and the synthetic stand-ins for the paper's nine datasets.
+
+See DESIGN.md (substitution 2) for why the datasets are synthetic and what
+properties of the originals each generator preserves.
+"""
+
+from repro.data.dataset import ArrayDataset, DatasetInfo, Subset
+from repro.data.loader import DataLoader
+from repro.data.registry import DATASET_NAMES, dataset_info, load_dataset
+from repro.data import transforms
+
+__all__ = [
+    "ArrayDataset",
+    "DatasetInfo",
+    "Subset",
+    "DataLoader",
+    "load_dataset",
+    "dataset_info",
+    "DATASET_NAMES",
+    "transforms",
+]

@@ -1,0 +1,50 @@
+"""Mini-batch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches of ``(features, labels)`` arrays.
+
+    Shuffling uses the provided generator so local training is reproducible
+    per party and per round; each full iteration reshuffles.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        batch_size: int,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if shuffle and rng is None:
+            rng = np.random.default_rng()
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        """Number of batches per epoch (the paper's local steps per epoch)."""
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        features = self.dataset.features
+        labels = self.dataset.labels
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            yield features[batch], labels[batch]

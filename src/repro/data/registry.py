@@ -1,0 +1,92 @@
+"""Dataset registry: ``load_dataset("mnist")`` etc.
+
+Names match the paper's Table 2.  Every loader accepts ``seed`` and size
+overrides; ``paper_scale=True`` requests the original sizes (slow on CPU —
+intended for users with time, not for the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.dataset import ArrayDataset, DatasetInfo
+from repro.data import synthetic
+
+# Paper's Table 2 sizes, used when paper_scale=True.
+_PAPER_SIZES = {
+    "mnist": (60_000, 10_000),
+    "fmnist": (60_000, 10_000),
+    "cifar10": (50_000, 10_000),
+    "svhn": (73_257, 26_032),
+    "adult": (32_561, 16_281),
+    "rcv1": (15_182, 5_060),
+    "covtype": (435_759, 145_253),
+    "fcube": (4_000, 1_000),
+    "femnist": (341_873, 40_832),
+}
+
+_GENERATORS: dict[str, Callable] = {
+    "mnist": synthetic.make_mnist_like,
+    "fmnist": synthetic.make_fmnist_like,
+    "cifar10": synthetic.make_cifar10_like,
+    "svhn": synthetic.make_svhn_like,
+    "femnist": synthetic.make_femnist_like,
+    "fcube": synthetic.make_fcube,
+    "adult": synthetic.make_adult_like,
+    "rcv1": synthetic.make_rcv1_like,
+    "covtype": synthetic.make_covtype_like,
+}
+
+DATASET_NAMES = tuple(_GENERATORS)
+
+
+def load_dataset(
+    name: str,
+    n_train: int | None = None,
+    n_test: int | None = None,
+    seed: int = 0,
+    paper_scale: bool = False,
+    **kwargs,
+) -> tuple[ArrayDataset, ArrayDataset, DatasetInfo]:
+    """Load (generate) a dataset by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES` (``cifar10`` accepts ``cifar-10`` too).
+    n_train, n_test:
+        Override the generator's reduced-scale defaults.
+    paper_scale:
+        Use the original Table 2 sizes instead (overridden by explicit
+        ``n_train``/``n_test``).
+    kwargs:
+        Forwarded to the generator (e.g. ``num_writers`` for femnist,
+        ``num_features`` for rcv1).
+    """
+    key = name.lower().replace("-", "")
+    if key not in _GENERATORS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(_GENERATORS)}")
+    generator = _GENERATORS[key]
+    if paper_scale:
+        paper_train, paper_test = _PAPER_SIZES[key]
+        n_train = n_train if n_train is not None else paper_train
+        n_test = n_test if n_test is not None else paper_test
+    if n_train is not None:
+        kwargs["n_train"] = n_train
+    if n_test is not None:
+        kwargs["n_test"] = n_test
+    return generator(seed=seed, **kwargs)
+
+
+def dataset_info(name: str, **kwargs) -> DatasetInfo:
+    """Info for a dataset without keeping the arrays around."""
+    _, _, info = load_dataset(name, **kwargs)
+    return info
+
+
+def paper_sizes(name: str) -> tuple[int, int]:
+    """The original (train, test) sizes from the paper's Table 2."""
+    key = name.lower().replace("-", "")
+    if key not in _PAPER_SIZES:
+        raise KeyError(f"unknown dataset {name!r}")
+    return _PAPER_SIZES[key]

@@ -1,0 +1,36 @@
+"""Synthetic stand-ins for the paper's nine public datasets.
+
+The execution environment has no network access, so the original datasets
+cannot be downloaded.  Each generator here is a seeded simulation that
+preserves the properties the paper's experiments manipulate — modality,
+class count, task difficulty ordering, and (for FEMNIST) per-writer style
+structure.  See DESIGN.md, substitution 2.
+"""
+
+from repro.data.synthetic.images import (
+    make_cifar10_like,
+    make_fmnist_like,
+    make_image_classification,
+    make_mnist_like,
+    make_svhn_like,
+)
+from repro.data.synthetic.writers import make_femnist_like
+from repro.data.synthetic.fcube import make_fcube
+from repro.data.synthetic.tabular import (
+    make_adult_like,
+    make_covtype_like,
+    make_rcv1_like,
+)
+
+__all__ = [
+    "make_image_classification",
+    "make_mnist_like",
+    "make_fmnist_like",
+    "make_cifar10_like",
+    "make_svhn_like",
+    "make_femnist_like",
+    "make_fcube",
+    "make_adult_like",
+    "make_rcv1_like",
+    "make_covtype_like",
+]

@@ -1,0 +1,248 @@
+"""Synthetic image-classification datasets.
+
+Each class is defined by a smooth random *prototype* image (low-frequency
+Gaussian field).  A sample is its class prototype, randomly shifted and
+scaled, plus pixel noise.  Two knobs control task difficulty:
+
+- ``signal``: amplitude of the prototype relative to the noise — lower
+  signal means classes overlap more (CIFAR-10-like).
+- ``deform``: magnitude of the random spatial shift — higher deformation
+  means more within-class variation.
+
+- ``label_noise``: fraction of observed labels flipped to a random other
+  class, in both splits.  Prototype tasks have near-zero Bayes error (the
+  aggregate SNR grows with pixel count), so this knob sets the accuracy
+  *ceiling* at roughly ``1 - label_noise`` — the mechanism by which each
+  stand-in matches its original's centralized accuracy.
+
+The defaults below are calibrated (see ``tests/data/test_learnability.py``)
+so that centralized training reproduces the paper's difficulty ordering:
+MNIST-like is nearly saturated, CIFAR-10-like is clearly harder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DatasetInfo
+
+
+def _smooth_field(
+    rng: np.random.Generator, channels: int, size: int, coarse: int = 4
+) -> np.ndarray:
+    """A smooth random image: coarse Gaussian noise, bilinearly upsampled."""
+    grid = rng.standard_normal((channels, coarse, coarse))
+    # Bilinear upsample coarse -> size via separable interpolation.
+    src = np.linspace(0, coarse - 1, size)
+    low = np.floor(src).astype(int)
+    high = np.minimum(low + 1, coarse - 1)
+    frac = src - low
+    rows = grid[:, low, :] * (1 - frac)[None, :, None] + grid[:, high, :] * frac[None, :, None]
+    field = (
+        rows[:, :, low] * (1 - frac)[None, None, :]
+        + rows[:, :, high] * frac[None, None, :]
+    )
+    return field.astype(np.float32)
+
+
+def _random_shift(image: np.ndarray, shift: tuple[int, int]) -> np.ndarray:
+    """Integer circular shift of an image stack (C, H, W)."""
+    return np.roll(image, shift, axis=(1, 2))
+
+
+def _generate_split(
+    rng: np.random.Generator,
+    prototypes: np.ndarray,
+    labels: np.ndarray,
+    signal: float,
+    deform: int,
+    noise_std: float,
+) -> np.ndarray:
+    """Render samples for given labels from their class prototypes."""
+    n = labels.shape[0]
+    channels, size, _ = prototypes.shape[1:]
+    images = np.empty((n, channels, size, size), dtype=np.float32)
+    shifts = rng.integers(-deform, deform + 1, size=(n, 2)) if deform > 0 else np.zeros((n, 2), int)
+    amplitudes = rng.uniform(0.7, 1.3, size=n).astype(np.float32)
+    noise = rng.normal(0.0, noise_std, size=images.shape).astype(np.float32)
+    for i in range(n):
+        proto = prototypes[labels[i]]
+        if deform > 0:
+            proto = _random_shift(proto, tuple(shifts[i]))
+        images[i] = signal * amplitudes[i] * proto
+    images += noise
+    return images
+
+
+def _balanced_labels(rng: np.random.Generator, n: int, num_classes: int) -> np.ndarray:
+    """Labels covering all classes as evenly as possible, shuffled."""
+    base = np.arange(n) % num_classes
+    rng.shuffle(base)
+    return base.astype(np.int64)
+
+
+def flip_labels(
+    rng: np.random.Generator, labels: np.ndarray, rate: float, num_classes: int
+) -> np.ndarray:
+    """Flip a ``rate`` fraction of labels to a uniformly random other class."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"label_noise must be in [0, 1), got {rate}")
+    if rate == 0.0:
+        return labels
+    flipped = labels.copy()
+    mask = rng.random(labels.shape[0]) < rate
+    offsets = rng.integers(1, num_classes, size=int(mask.sum()))
+    flipped[mask] = (flipped[mask] + offsets) % num_classes
+    return flipped
+
+
+def make_image_classification(
+    name: str,
+    num_classes: int,
+    channels: int,
+    image_size: int,
+    n_train: int,
+    n_test: int,
+    signal: float,
+    deform: int,
+    noise_std: float,
+    seed: int,
+    class_probs: np.ndarray | None = None,
+    label_noise: float = 0.0,
+) -> tuple[ArrayDataset, ArrayDataset, DatasetInfo]:
+    """Generate a synthetic image-classification dataset.
+
+    Parameters
+    ----------
+    class_probs:
+        Optional class marginal (defaults to balanced classes).  SVHN-like
+        uses a skewed marginal mirroring real street-number digit counts.
+    label_noise:
+        Fraction of observed labels flipped uniformly to another class
+        (applied to both splits after rendering, so images always depict
+        their true class).  Sets the accuracy ceiling near ``1 - noise``.
+    """
+    if n_train <= 0 or n_test <= 0:
+        raise ValueError("dataset sizes must be positive")
+    rng = np.random.default_rng(seed)
+    prototypes = np.stack(
+        [_smooth_field(rng, channels, image_size) for _ in range(num_classes)]
+    )
+    if class_probs is None:
+        train_labels = _balanced_labels(rng, n_train, num_classes)
+        test_labels = _balanced_labels(rng, n_test, num_classes)
+    else:
+        class_probs = np.asarray(class_probs, dtype=np.float64)
+        class_probs = class_probs / class_probs.sum()
+        train_labels = rng.choice(num_classes, size=n_train, p=class_probs).astype(np.int64)
+        test_labels = rng.choice(num_classes, size=n_test, p=class_probs).astype(np.int64)
+        # Guarantee every class appears at least once in each split.
+        for k in range(num_classes):
+            if not (train_labels == k).any():
+                train_labels[rng.integers(n_train)] = k
+            if not (test_labels == k).any():
+                test_labels[rng.integers(n_test)] = k
+
+    train_x = _generate_split(rng, prototypes, train_labels, signal, deform, noise_std)
+    test_x = _generate_split(rng, prototypes, test_labels, signal, deform, noise_std)
+    train_labels = flip_labels(rng, train_labels, label_noise, num_classes)
+    test_labels = flip_labels(rng, test_labels, label_noise, num_classes)
+    info = DatasetInfo(
+        name=name,
+        modality="image",
+        num_classes=num_classes,
+        input_shape=(channels, image_size, image_size),
+        num_train=n_train,
+        num_test=n_test,
+        extra={
+            "signal": signal,
+            "deform": deform,
+            "noise_std": noise_std,
+            "label_noise": label_noise,
+        },
+    )
+    train = ArrayDataset(train_x, train_labels)
+    test = ArrayDataset(test_x, test_labels)
+    return train, test, info
+
+
+def make_mnist_like(
+    n_train: int = 4000, n_test: int = 1000, image_size: int = 16, seed: int = 0
+):
+    """MNIST stand-in: 10 classes, 1 channel, easy (strong signal)."""
+    return make_image_classification(
+        name="mnist",
+        num_classes=10,
+        channels=1,
+        image_size=image_size,
+        n_train=n_train,
+        n_test=n_test,
+        signal=2.0,
+        deform=1,
+        noise_std=0.3,
+        seed=seed + 101,
+        label_noise=0.005,
+    )
+
+
+def make_fmnist_like(
+    n_train: int = 4000, n_test: int = 1000, image_size: int = 16, seed: int = 0
+):
+    """Fashion-MNIST stand-in: like MNIST but with weaker signal."""
+    return make_image_classification(
+        name="fmnist",
+        num_classes=10,
+        channels=1,
+        image_size=image_size,
+        n_train=n_train,
+        n_test=n_test,
+        signal=1.3,
+        deform=1,
+        noise_std=0.45,
+        seed=seed + 202,
+        label_noise=0.10,
+    )
+
+
+def make_cifar10_like(
+    n_train: int = 4000, n_test: int = 1000, image_size: int = 16, seed: int = 0
+):
+    """CIFAR-10 stand-in: 3 channels, weak signal, strong deformation (hard)."""
+    return make_image_classification(
+        name="cifar10",
+        num_classes=10,
+        channels=3,
+        image_size=image_size,
+        n_train=n_train,
+        n_test=n_test,
+        signal=0.7,
+        deform=3,
+        noise_std=0.6,
+        seed=seed + 303,
+        label_noise=0.29,
+    )
+
+
+def make_svhn_like(
+    n_train: int = 4000, n_test: int = 1400, image_size: int = 16, seed: int = 0
+):
+    """SVHN stand-in: 3 channels, medium difficulty, skewed digit marginal.
+
+    Street-number digits follow a Benford-like distribution (1 and 2 far
+    more common than 9), which we mirror so quantity effects are realistic.
+    """
+    benford_like = np.array([0.07, 0.19, 0.15, 0.12, 0.10, 0.09, 0.08, 0.07, 0.07, 0.06])
+    return make_image_classification(
+        name="svhn",
+        num_classes=10,
+        channels=3,
+        image_size=image_size,
+        n_train=n_train,
+        n_test=n_test,
+        signal=1.1,
+        deform=2,
+        noise_std=0.5,
+        seed=seed + 404,
+        class_probs=benford_like,
+        label_noise=0.115,
+    )

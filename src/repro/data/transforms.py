@@ -1,0 +1,49 @@
+"""Feature-space transforms.
+
+``gaussian_noise`` implements the paper's noise-based feature imbalance
+(Section 4.2): party ``P_i`` receives noise drawn from ``Gau(sigma * i / N)``
+where ``Gau(v)`` is a zero-mean Gaussian with *variance* ``v``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gaussian_noise(
+    features: np.ndarray, variance: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Return ``features`` plus zero-mean Gaussian noise of given variance."""
+    if variance < 0:
+        raise ValueError(f"variance must be non-negative, got {variance}")
+    if variance == 0:
+        return features.copy()
+    noise = rng.normal(0.0, np.sqrt(variance), size=features.shape)
+    return (features + noise).astype(features.dtype)
+
+
+def party_noise_variance(sigma: float, party_index: int, num_parties: int) -> float:
+    """Noise variance for party ``i`` under the paper's ``Gau(sigma)`` scheme.
+
+    The paper adds noise ``Gau(sigma * i / N)`` to party ``P_i``; we index
+    parties from 0, so party 0 gets no noise and party ``N-1`` gets
+    ``sigma * (N-1)/N`` — matching Figure 4 where lower-indexed parties are
+    cleaner.
+    """
+    if num_parties <= 0:
+        raise ValueError("num_parties must be positive")
+    if not 0 <= party_index < num_parties:
+        raise ValueError(f"party_index {party_index} out of range [0, {num_parties})")
+    return sigma * party_index / num_parties
+
+
+def normalize(features: np.ndarray, mean: float, std: float) -> np.ndarray:
+    """Standard (x - mean) / std normalization."""
+    if std <= 0:
+        raise ValueError(f"std must be positive, got {std}")
+    return ((features - mean) / std).astype(features.dtype)
+
+
+def flatten_images(features: np.ndarray) -> np.ndarray:
+    """``(N, C, H, W) -> (N, C*H*W)`` for MLP consumption."""
+    return features.reshape(features.shape[0], -1)

@@ -1,0 +1,95 @@
+"""The paper's Figure 6 decision tree, as executable logic.
+
+Figure 6 summarizes which algorithm is (almost) best per non-IID setting:
+
+- feature distribution skew       -> SCAFFOLD
+- label skew, extreme (#C = 1)    -> FedProx
+- label skew, moderate            -> FedAvg-family (FedProx a safe pick)
+- quantity skew                   -> FedProx
+- IID / unknown                   -> FedAvg
+
+The function takes either a strategy spec string or a measured
+:class:`SkewDescription` (so it can be driven from partition statistics,
+the paper's Section 6.1 "profiling" idea).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.partition import parse_strategy
+from repro.partition.feature_skew import (
+    FCubePartitioner,
+    NoiseBasedFeatureSkew,
+    RealWorldFeatureSkew,
+)
+from repro.partition.homogeneous import HomogeneousPartitioner
+from repro.partition.label_skew import (
+    DistributionBasedLabelSkew,
+    QuantityBasedLabelSkew,
+)
+from repro.partition.mixed import MixedSkew
+from repro.partition.quantity_skew import QuantitySkew
+
+
+@dataclass(frozen=True)
+class SkewDescription:
+    """A measured description of the federation's data skew.
+
+    Build it from :mod:`repro.partition.stats` metrics when the partition
+    is known, or from domain knowledge when it is not.
+    """
+
+    label_skew: float = 0.0  # mean KL of party label dists vs global
+    quantity_skew: float = 0.0  # coefficient of variation of sizes
+    feature_skew: bool = False
+    min_classes_per_party: int | None = None
+
+
+def recommend_algorithm(setting) -> str:
+    """Figure 6: pick the (almost) best algorithm for a non-IID setting.
+
+    Parameters
+    ----------
+    setting:
+        A strategy spec string (``"#C=1"``, ``"gau(0.1)"``, ...), a
+        partitioner instance, or a :class:`SkewDescription`.
+
+    Returns
+    -------
+    One of ``"fedavg"``, ``"fedprox"``, ``"scaffold"``.
+    """
+    if isinstance(setting, SkewDescription):
+        return _recommend_from_description(setting)
+    partitioner = parse_strategy(setting) if isinstance(setting, str) else setting
+
+    if isinstance(
+        partitioner, (NoiseBasedFeatureSkew, FCubePartitioner, RealWorldFeatureSkew)
+    ):
+        return "scaffold"
+    if isinstance(partitioner, QuantityBasedLabelSkew):
+        if partitioner.labels_per_party == 1:
+            return "fedprox"
+        return "fedavg"
+    if isinstance(partitioner, DistributionBasedLabelSkew):
+        return "fedprox" if partitioner.beta < 0.1 else "fedavg"
+    if isinstance(partitioner, QuantitySkew):
+        return "fedprox"
+    if isinstance(partitioner, MixedSkew):
+        # Both component skews point towards FedProx in Figure 6.
+        return "fedprox"
+    if isinstance(partitioner, HomogeneousPartitioner):
+        return "fedavg"
+    raise ValueError(f"no recommendation rule for {type(partitioner).__name__}")
+
+
+def _recommend_from_description(desc: SkewDescription) -> str:
+    if desc.feature_skew and desc.label_skew < 0.5:
+        return "scaffold"
+    if desc.min_classes_per_party == 1:
+        return "fedprox"
+    if desc.label_skew >= 0.5:
+        return "fedprox"
+    if desc.quantity_skew > 0.25:
+        return "fedprox"
+    return "fedavg"

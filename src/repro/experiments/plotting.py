@@ -1,0 +1,94 @@
+"""Terminal plotting: render accuracy curves without matplotlib.
+
+The paper's Figures 7-12 are line charts of test accuracy vs rounds.  In a
+dependency-free reproduction the equivalent is an ASCII chart; these
+renderers are used by the CLI (``--plot``) and by the benchmark result
+files so curve *shapes* are reviewable in plain text.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values, width: int | None = None) -> str:
+    """One-line bar sparkline of a series (NaNs rendered as spaces)."""
+    blocks = " .:-=+*#%@"
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if width is not None and values.size > width:
+        # Downsample by striding so the line fits.
+        idx = np.linspace(0, values.size - 1, width).round().astype(int)
+        values = values[idx]
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return " " * values.size
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low if high > low else 1.0
+    chars = []
+    for v in values:
+        if not np.isfinite(v):
+            chars.append(" ")
+            continue
+        level = int((v - low) / span * (len(blocks) - 1))
+        chars.append(blocks[level])
+    return "".join(chars)
+
+
+def line_chart(
+    series: dict[str, "np.ndarray"],
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "acc",
+    x_label: str = "round",
+) -> str:
+    """Multi-series ASCII line chart with a shared y axis.
+
+    Each series gets a marker character; later series overwrite earlier
+    ones on collisions (a legend maps markers to names).
+    """
+    if not series:
+        return "(no series)"
+    if height < 2 or width < 8:
+        raise ValueError("chart too small to draw")
+
+    arrays = {name: np.asarray(vals, dtype=np.float64) for name, vals in series.items()}
+    all_values = np.concatenate([a[np.isfinite(a)] for a in arrays.values()])
+    if all_values.size == 0:
+        return "(no finite data)"
+    low, high = float(all_values.min()), float(all_values.max())
+    if math.isclose(low, high):
+        low, high = low - 0.5, high + 0.5
+    max_len = max(len(a) for a in arrays.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(arrays.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for i, v in enumerate(values):
+            if not np.isfinite(v):
+                continue
+            x = 0 if max_len == 1 else int(round(i / (max_len - 1) * (width - 1)))
+            y = int(round((v - low) / (high - low) * (height - 1)))
+            grid[height - 1 - y][x] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{high:6.3f} |"
+        elif row_index == height - 1:
+            label = f"{low:6.3f} |"
+        else:
+            label = "       |"
+        lines.append(label + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        {x_label} 0..{max_len - 1}   y: {y_label}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(arrays)
+    )
+    lines.append("        " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Scale presets: the paper's settings vs what a NumPy CPU can benchmark.
+
+The paper trains 50-500 rounds on datasets of 15k-436k samples.  The
+benchmark suite must finish in minutes on a CPU, so every bench runs a
+reduced-scale preset; the presets keep the *ratios* that drive the paper's
+findings (parties x epochs x batch size relative to local dataset size).
+
+``PAPER`` is provided so users with time can launch full-scale runs with
+the same code path (``run_federated_experiment(..., preset=scale.PAPER)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Sizing knobs decoupled from the scientific configuration."""
+
+    name: str
+    n_train: int | None  # None = the dataset generator's default
+    n_test: int | None
+    num_rounds: int
+    local_epochs: int
+    batch_size: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: n_train={self.n_train}, n_test={self.n_test}, "
+            f"rounds={self.num_rounds}, epochs={self.local_epochs}, "
+            f"batch={self.batch_size}"
+        )
+
+
+#: The paper's Table 3 protocol (Section 5): 50 rounds, 10 local epochs,
+#: batch 64, full dataset sizes.
+PAPER = ScalePreset(
+    name="paper", n_train=None, n_test=None, num_rounds=50, local_epochs=10, batch_size=64
+)
+
+#: Default reduced scale for benchmarks: completes a Table 3 cell for a
+#: tabular dataset in seconds and an image dataset in tens of seconds.
+BENCH = ScalePreset(
+    name="bench", n_train=1200, n_test=600, num_rounds=12, local_epochs=5, batch_size=32
+)
+
+#: Even smaller — used by integration tests.
+SMOKE = ScalePreset(
+    name="smoke", n_train=300, n_test=150, num_rounds=4, local_epochs=2, batch_size=32
+)
+
+PRESETS = {preset.name: preset for preset in (PAPER, BENCH, SMOKE)}

@@ -1,0 +1,107 @@
+"""Persistence for experiment outcomes.
+
+A :class:`ResultStore` is a directory of JSON files, one per run, holding
+the experiment key (dataset/partition/algorithm/seed), the full per-round
+history and the partition shape.  It backs the leaderboard workflow:
+accumulate runs over time, re-rank without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.experiments.leaderboard import Leaderboard
+from repro.experiments.runner import ExperimentOutcome, TrialSummary
+
+
+def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
+    """Serialize an outcome to plain JSON-compatible data."""
+    return {
+        "dataset": outcome.dataset,
+        "partition": outcome.partition,
+        "algorithm": outcome.algorithm,
+        "model": outcome.model,
+        "seed": outcome.seed,
+        "final_accuracy": outcome.final_accuracy,
+        "best_accuracy": outcome.best_accuracy,
+        "history": outcome.history.to_dict(),
+        "party_sizes": [int(s) for s in outcome.partition_result.sizes],
+        "config": {
+            "num_rounds": outcome.config.num_rounds,
+            "local_epochs": outcome.config.local_epochs,
+            "batch_size": outcome.config.batch_size,
+            "lr": outcome.config.lr,
+            "sample_fraction": outcome.config.sample_fraction,
+            "sampler": outcome.config.sampler,
+            "optimizer": outcome.config.optimizer,
+            "bn_policy": outcome.config.bn_policy,
+        },
+    }
+
+
+class ResultStore:
+    """Directory-backed store of experiment results."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, dataset: str, partition: str, algorithm: str, seed: int) -> pathlib.Path:
+        safe_partition = (
+            partition.replace("/", "_").replace("(", "_").replace(")", "")
+            .replace("#", "C").replace("~", "-").replace("=", "-").replace(",", "_")
+        )
+        return self.root / f"{dataset}__{safe_partition}__{algorithm}__{seed}.json"
+
+    def save(self, outcome: ExperimentOutcome) -> pathlib.Path:
+        path = self._path(
+            outcome.dataset, outcome.partition, outcome.algorithm, outcome.seed
+        )
+        path.write_text(json.dumps(outcome_to_dict(outcome), indent=2))
+        return path
+
+    def records(self) -> list[dict]:
+        """All stored run records, sorted by filename."""
+        return [
+            json.loads(path.read_text()) for path in sorted(self.root.glob("*.json"))
+        ]
+
+    def query(
+        self,
+        dataset: str | None = None,
+        partition: str | None = None,
+        algorithm: str | None = None,
+    ) -> list[dict]:
+        """Records matching every given filter."""
+        out = []
+        for record in self.records():
+            if dataset is not None and record["dataset"] != dataset:
+                continue
+            if partition is not None and record["partition"] != partition:
+                continue
+            if algorithm is not None and record["algorithm"] != algorithm:
+                continue
+            out.append(record)
+        return out
+
+    def leaderboard(self) -> Leaderboard:
+        """Aggregate stored runs into a leaderboard (seeds become trials)."""
+        grouped: dict[tuple[str, str, str], list[float]] = {}
+        for record in self.records():
+            key = (record["dataset"], record["partition"], record["algorithm"])
+            grouped.setdefault(key, []).append(float(record["final_accuracy"]))
+        board = Leaderboard()
+        for (dataset, partition, algorithm), accuracies in grouped.items():
+            board.add(
+                TrialSummary(
+                    dataset=dataset,
+                    partition=partition,
+                    algorithm=algorithm,
+                    accuracies=accuracies,
+                )
+            )
+        return board
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.json")))

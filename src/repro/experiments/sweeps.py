@@ -1,0 +1,97 @@
+"""Hyper-parameter sweeps: the machinery behind Figures 8, 9 and 10.
+
+The paper's sensitivity studies all share one shape — fix a (dataset,
+partition, algorithm) cell, vary one knob, collect the training curves.
+:func:`sweep` is that shape as an API; the figure benches are thin
+wrappers over specific knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.experiments.runner import run_federated_experiment
+from repro.experiments.scale import BENCH, ScalePreset
+
+#: knobs `sweep` knows how to vary, mapped to runner keyword arguments
+SWEEPABLE = {
+    "local_epochs": "local_epochs",
+    "batch_size": "batch_size",
+    "lr": "lr",
+    "num_rounds": "num_rounds",
+    "sample_fraction": "sample_fraction",
+    "mu": None,  # special-cased: goes into algorithm_kwargs for fedprox
+}
+
+
+@dataclass
+class SweepResult:
+    """Curves and final accuracies indexed by the swept value."""
+
+    parameter: str
+    curves: dict = field(default_factory=dict)  # value -> accuracy array
+
+    def finals(self) -> dict:
+        return {value: float(curve[-1]) for value, curve in self.curves.items()}
+
+    def best_value(self):
+        finals = self.finals()
+        return max(finals, key=finals.get)
+
+    def spread(self) -> float:
+        """Max minus min final accuracy across the sweep (sensitivity)."""
+        finals = list(self.finals().values())
+        return float(max(finals) - min(finals))
+
+    def to_text(self) -> str:
+        lines = [f"sweep over {self.parameter}"]
+        for value, curve in self.curves.items():
+            series = " ".join(f"{float(a):.3f}" for a in curve)
+            lines.append(f"  {self.parameter}={value}: {series}")
+        return "\n".join(lines)
+
+
+def sweep(
+    parameter: str,
+    values: Iterable,
+    dataset: str,
+    partition: str,
+    algorithm: str = "fedavg",
+    preset: ScalePreset = BENCH,
+    seed: int = 0,
+    **fixed,
+) -> SweepResult:
+    """Run one experiment per value of ``parameter`` and collect curves.
+
+    Parameters
+    ----------
+    parameter:
+        One of :data:`SWEEPABLE` (``mu`` implies ``algorithm="fedprox"``).
+    values:
+        The values to try (the x-axis of the paper's sensitivity figures).
+    fixed:
+        Additional fixed arguments forwarded to
+        :func:`~repro.experiments.runner.run_federated_experiment`.
+    """
+    if parameter not in SWEEPABLE:
+        raise KeyError(
+            f"cannot sweep {parameter!r}; sweepable: {sorted(SWEEPABLE)}"
+        )
+    if parameter == "mu" and algorithm != "fedprox":
+        raise ValueError("sweeping mu requires algorithm='fedprox'")
+
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        kwargs = dict(fixed)
+        if parameter == "mu":
+            kwargs["algorithm_kwargs"] = {"mu": value}
+        else:
+            kwargs[SWEEPABLE[parameter]] = value
+        outcome = run_federated_experiment(
+            dataset, partition, algorithm, preset=preset, seed=seed, **kwargs
+        )
+        result.curves[value] = np.asarray(outcome.history.accuracies)
+    return result

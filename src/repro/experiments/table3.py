@@ -1,0 +1,107 @@
+"""The full Table 3 experimental matrix as a programmatic API.
+
+The paper's Table 3 covers the nine datasets under every applicable
+partitioning strategy for the four algorithms.  ``TABLE3_SETTINGS`` spells
+out that matrix exactly (which partition applies to which dataset, per the
+paper), and :func:`run_table3` executes any slice of it at a chosen scale,
+feeding a :class:`~repro.experiments.leaderboard.Leaderboard`.
+
+The benchmark suite runs a representative slice (see
+``benchmarks/test_table3_overall_accuracy.py``); this module is the way to
+run more — up to the whole matrix at paper scale, if you have the time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments.leaderboard import Leaderboard
+from repro.experiments.runner import run_trials
+from repro.experiments.scale import BENCH, ScalePreset
+
+IMAGE_DATASETS = ("mnist", "fmnist", "cifar10", "svhn")
+TABULAR_DATASETS = ("adult", "rcv1", "covtype")
+
+#: dataset -> partition specs evaluated in the paper's Table 3.
+TABLE3_SETTINGS: dict[str, tuple[str, ...]] = {
+    **{
+        name: ("dir(0.5)", "#C=1", "#C=2", "#C=3", "gau(0.1)", "quantity(0.5)", "iid")
+        for name in IMAGE_DATASETS
+    },
+    **{
+        name: ("dir(0.5)", "#C=1", "quantity(0.5)", "iid")
+        for name in TABULAR_DATASETS
+    },
+    "fcube": ("fcube", "iid"),
+    "femnist": ("real-world", "iid"),
+}
+
+ALGORITHMS = ("fedavg", "fedprox", "scaffold", "fednova")
+
+
+def settings_matrix(
+    datasets: Iterable[str] | None = None,
+    partitions: Iterable[str] | None = None,
+) -> list[tuple[str, str]]:
+    """The (dataset, partition) cells selected by the given filters."""
+    chosen_datasets = tuple(datasets) if datasets is not None else tuple(TABLE3_SETTINGS)
+    cells = []
+    for dataset in chosen_datasets:
+        if dataset not in TABLE3_SETTINGS:
+            raise KeyError(
+                f"{dataset!r} is not a Table 3 dataset; "
+                f"available: {sorted(TABLE3_SETTINGS)}"
+            )
+        for partition in TABLE3_SETTINGS[dataset]:
+            if partitions is not None and partition not in partitions:
+                continue
+            cells.append((dataset, partition))
+    return cells
+
+
+def run_table3(
+    datasets: Iterable[str] | None = None,
+    partitions: Iterable[str] | None = None,
+    algorithms: Iterable[str] = ALGORITHMS,
+    preset: ScalePreset = BENCH,
+    num_trials: int = 1,
+    base_seed: int = 0,
+    fedprox_mu: float = 0.01,
+    progress=None,
+) -> Leaderboard:
+    """Run a slice of the Table 3 matrix and return the leaderboard.
+
+    Parameters
+    ----------
+    datasets, partitions:
+        Filters over :data:`TABLE3_SETTINGS`; ``None`` means everything.
+    algorithms:
+        Algorithms to compare (the paper's four by default).
+    preset:
+        Scale preset; the paper's protocol is ``scale.PAPER`` with
+        ``num_trials=3``.
+    progress:
+        Optional callback ``(dataset, partition, algorithm, summary)``
+        invoked after each cell.
+    """
+    board = Leaderboard()
+    for dataset, partition in settings_matrix(datasets, partitions):
+        for algorithm in algorithms:
+            kwargs = {}
+            if algorithm == "fedprox":
+                kwargs["algorithm_kwargs"] = {"mu": fedprox_mu}
+            if dataset == "femnist":
+                kwargs["dataset_kwargs"] = {"num_writers": 20}
+            summary = run_trials(
+                dataset,
+                partition,
+                algorithm,
+                num_trials=num_trials,
+                base_seed=base_seed,
+                preset=preset,
+                **kwargs,
+            )
+            board.add(summary)
+            if progress is not None:
+                progress(dataset, partition, algorithm, summary)
+    return board

@@ -1,0 +1,57 @@
+"""Federated learning core: the four algorithms the paper evaluates.
+
+- :class:`FedAvg` — weighted model averaging (McMahan et al.).
+- :class:`FedProx` — FedAvg + proximal term in the local objective.
+- :class:`Scaffold` — control variates correcting client drift.
+- :class:`FedNova` — normalized averaging of heterogeneous local updates.
+- :class:`FedOpt` — extension: server-side optimizer (momentum/Adam), cited
+  by the paper as related work.
+
+Orchestration lives in :class:`FederatedServer`; per-party state (local
+datasets, SCAFFOLD control variates, retained BN statistics) lives in
+:class:`Client`.
+"""
+
+from repro.federated.config import FederatedConfig
+from repro.federated.client import Client, heterogeneous_epochs, make_clients
+from repro.federated.history import History, RoundRecord
+from repro.federated.server import FederatedServer
+from repro.federated.algorithms import (
+    ALGORITHM_NAMES,
+    FedAlgorithm,
+    FedAvg,
+    FedNova,
+    FedOpt,
+    FedProx,
+    Scaffold,
+    make_algorithm,
+)
+from repro.federated.evaluation import evaluate_accuracy, evaluate_per_party
+from repro.federated.privacy import DifferentialPrivacy, approximate_epsilon
+from repro.federated.systems import SystemModel
+from repro.federated.sampling import StratifiedSampler, sample_parties
+
+__all__ = [
+    "FederatedConfig",
+    "Client",
+    "make_clients",
+    "heterogeneous_epochs",
+    "FederatedServer",
+    "History",
+    "RoundRecord",
+    "FedAlgorithm",
+    "FedAvg",
+    "FedProx",
+    "Scaffold",
+    "FedNova",
+    "FedOpt",
+    "make_algorithm",
+    "ALGORITHM_NAMES",
+    "evaluate_accuracy",
+    "evaluate_per_party",
+    "DifferentialPrivacy",
+    "approximate_epsilon",
+    "SystemModel",
+    "StratifiedSampler",
+    "sample_parties",
+]

@@ -1,0 +1,113 @@
+"""State-dict arithmetic for server aggregation.
+
+State dicts mix trainable parameters and buffers (batch-norm running
+statistics, batch counters).  Which keys get averaged and which stay local
+is exactly the design choice the paper's Finding 7 and Section 6.2 discuss,
+so the split is explicit here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.grad.nn.module import Module
+
+
+def parameter_keys(model: Module) -> list[str]:
+    """Names of trainable parameters, in traversal order."""
+    return [name for name, _ in model.named_parameters()]
+
+
+def buffer_keys(model: Module) -> list[str]:
+    """Names of non-trained buffers (BN statistics and counters)."""
+    return [name for name, _ in model.named_buffers()]
+
+
+def batch_norm_keys(model: Module) -> list[str]:
+    """All state-dict keys belonging to batch-norm layers.
+
+    Includes both the learned affine parameters (gamma/beta) and the
+    running statistics — the set that FedBN-style aggregation keeps local.
+    """
+    from repro.grad.nn.layers import _BatchNorm
+
+    keys: list[str] = []
+    for module_name, module in model.named_modules():
+        if isinstance(module, _BatchNorm):
+            prefix = f"{module_name}." if module_name else ""
+            keys.extend(f"{prefix}{name}" for name in module._parameters)
+            keys.extend(f"{prefix}{name}" for name in module._buffers)
+    return keys
+
+
+def weighted_average_states(
+    states: Sequence[dict[str, np.ndarray]],
+    weights: Sequence[float],
+    keys: Sequence[str] | None = None,
+) -> dict[str, np.ndarray]:
+    """Weighted average of state dicts over ``keys`` (all keys by default).
+
+    Weights are normalized to sum to one.  Integer entries (e.g. BN's
+    ``num_batches_tracked``) are averaged in float then cast back.
+    """
+    if not states:
+        raise ValueError("need at least one state to average")
+    if len(states) != len(weights):
+        raise ValueError(f"{len(states)} states but {len(weights)} weights")
+    weights = np.asarray(weights, dtype=np.float64)
+    if (weights < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    weights = weights / total
+
+    if keys is None:
+        keys = list(states[0])
+    out: dict[str, np.ndarray] = {}
+    for key in keys:
+        ref = np.asarray(states[0][key])
+        accum = np.zeros(ref.shape, dtype=np.float64)
+        for state, weight in zip(states, weights):
+            accum += weight * np.asarray(state[key], dtype=np.float64)
+        out[key] = accum.astype(ref.dtype)
+    return out
+
+
+def subtract_states(
+    a: dict[str, np.ndarray],
+    b: dict[str, np.ndarray],
+    keys: Sequence[str],
+) -> dict[str, np.ndarray]:
+    """Per-key ``a - b`` over ``keys`` (used for model deltas)."""
+    return {
+        key: np.asarray(a[key], dtype=np.float64) - np.asarray(b[key], dtype=np.float64)
+        for key in keys
+    }
+
+
+def apply_update(
+    state: dict[str, np.ndarray],
+    update: dict[str, np.ndarray],
+    lr: float,
+) -> dict[str, np.ndarray]:
+    """Return ``state - lr * update`` over the update's keys (others copied)."""
+    out = {key: np.asarray(value).copy() for key, value in state.items()}
+    for key, delta in update.items():
+        ref = np.asarray(state[key])
+        out[key] = (ref.astype(np.float64) - lr * delta).astype(ref.dtype)
+    return out
+
+
+def merge_states(
+    base: dict[str, np.ndarray],
+    overlay: dict[str, np.ndarray],
+    keys: Sequence[str],
+) -> dict[str, np.ndarray]:
+    """Copy of ``base`` with ``keys`` taken from ``overlay``."""
+    out = {key: np.asarray(value).copy() for key, value in base.items()}
+    for key in keys:
+        out[key] = np.asarray(overlay[key]).copy()
+    return out

@@ -1,0 +1,43 @@
+"""The federated optimization algorithms the paper studies."""
+
+from repro.federated.algorithms.base import ClientResult, FedAlgorithm
+from repro.federated.algorithms.fedavg import FedAvg
+from repro.federated.algorithms.fedprox import FedProx
+from repro.federated.algorithms.scaffold import Scaffold
+from repro.federated.algorithms.fednova import FedNova
+from repro.federated.algorithms.fedopt import FedOpt
+
+ALGORITHM_NAMES = ("fedavg", "fedprox", "scaffold", "fednova", "fedopt")
+
+
+def make_algorithm(name: str, **kwargs) -> FedAlgorithm:
+    """Build an algorithm by name.
+
+    ``kwargs`` are algorithm-specific: ``mu`` for FedProx, ``option`` for
+    SCAFFOLD, ``server_momentum``/``variant`` for FedOpt.
+    """
+    key = name.lower()
+    if key == "fedavg":
+        return FedAvg(**kwargs)
+    if key == "fedprox":
+        return FedProx(**kwargs)
+    if key == "scaffold":
+        return Scaffold(**kwargs)
+    if key == "fednova":
+        return FedNova(**kwargs)
+    if key == "fedopt":
+        return FedOpt(**kwargs)
+    raise KeyError(f"unknown algorithm {name!r}; available: {ALGORITHM_NAMES}")
+
+
+__all__ = [
+    "FedAlgorithm",
+    "ClientResult",
+    "FedAvg",
+    "FedProx",
+    "Scaffold",
+    "FedNova",
+    "FedOpt",
+    "make_algorithm",
+    "ALGORITHM_NAMES",
+]

@@ -1,0 +1,132 @@
+"""Algorithm interface: how a round's local updates become a global model.
+
+The server drives the loop; an algorithm provides two hooks:
+
+- :meth:`FedAlgorithm.client_round` — run one party's local work given the
+  current global state, returning a :class:`ClientResult`;
+- :meth:`FedAlgorithm.aggregate` — fold the round's results into the next
+  global state.
+
+Algorithms may keep server-side state (SCAFFOLD's global control variate,
+FedOpt's momentum buffers) as instance attributes, and per-party state in
+``client.state``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grad.nn.module import Module
+from repro.federated.aggregation import (
+    batch_norm_keys,
+    buffer_keys,
+    merge_states,
+    parameter_keys,
+)
+from repro.federated.client import Client
+from repro.federated.config import FederatedConfig
+
+
+@dataclass
+class ClientResult:
+    """What one party sends back to the server."""
+
+    client_id: int
+    state: dict[str, np.ndarray]
+    num_steps: int
+    num_samples: int
+    mean_loss: float
+    payload: dict = field(default_factory=dict)  # algorithm-specific extras
+
+
+class FedAlgorithm:
+    """Base class wiring the shared bookkeeping (BN policy, key splits)."""
+
+    name = "base"
+
+    def prepare(self, model: Module, clients: list[Client], config: FederatedConfig) -> None:
+        """Called once before round 0; caches key structure."""
+        self._param_keys = parameter_keys(model)
+        self._buffer_keys = buffer_keys(model)
+        self._bn_keys = batch_norm_keys(model)
+        self._num_parties = len(clients)
+        self._param_numel = sum(p.size for p in model.parameters())
+        self._buffer_numel = sum(np.asarray(b).size for b in model.buffers())
+
+    def round_payload_floats(self) -> tuple[int, int]:
+        """Per-client (downlink, uplink) float counts for one round.
+
+        The FedAvg family ships the model state both ways.  SCAFFOLD
+        overrides this: control variates double the parameter traffic
+        (paper Section 3.3, "SCAFFOLD doubles the communication size per
+        round").
+        """
+        state = self._param_numel + self._buffer_numel
+        return state, state
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def client_round(
+        self,
+        model: Module,
+        global_state: dict[str, np.ndarray],
+        client: Client,
+        config: FederatedConfig,
+    ) -> ClientResult:
+        raise NotImplementedError
+
+    def aggregate(
+        self,
+        global_state: dict[str, np.ndarray],
+        results: list[ClientResult],
+        config: FederatedConfig,
+    ) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def load_global_into(
+        self,
+        model: Module,
+        global_state: dict[str, np.ndarray],
+        client: Client,
+        config: FederatedConfig,
+    ) -> None:
+        """Load the broadcast state, honouring the BN policy.
+
+        Under ``bn_policy="local"`` (the FedBN-style remedy the paper's
+        Section 6.2 sketches), a party keeps its own batch-norm entries —
+        learned affine parameters *and* running statistics — across rounds
+        instead of receiving the server's averaged ones.  Keeping only the
+        running statistics local would be inert: training-mode BN uses
+        batch statistics, so the averaged buffers never influence local
+        gradients, only evaluation.
+        """
+        state = global_state
+        if config.bn_policy == "local" and self._bn_keys:
+            kept = client.state.get("bn_local")
+            if kept is not None:
+                state = merge_states(global_state, kept, self._bn_keys)
+        model.load_state_dict(state)
+
+    def stash_local_buffers(self, client: Client, state: dict, config: FederatedConfig) -> None:
+        """Remember the party's post-training BN entries if keeping local."""
+        if config.bn_policy == "local" and self._bn_keys:
+            client.state["bn_local"] = {
+                key: np.asarray(state[key]).copy() for key in self._bn_keys
+            }
+
+    @property
+    def param_keys(self) -> list[str]:
+        return self._param_keys
+
+    @property
+    def all_keys(self) -> list[str]:
+        return self._param_keys + self._buffer_keys
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

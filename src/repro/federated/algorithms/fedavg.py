@@ -1,0 +1,65 @@
+"""FedAvg (Algorithm 1 without the colored lines).
+
+Each sampled party runs E local epochs of SGD; the server replaces the
+global model with the data-size-weighted average of the returned local
+models.  With ``server_lr = 1`` the delta form of Algorithm 1 line 9,
+
+    w^{t+1} = w^t - eta * sum_i (|D^i| / n) * (w^t - w_i^t),
+
+is exactly weighted model averaging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grad.nn.module import Module
+from repro.federated.aggregation import subtract_states, apply_update, weighted_average_states
+from repro.federated.algorithms.base import ClientResult, FedAlgorithm
+from repro.federated.client import Client
+from repro.federated.config import FederatedConfig
+from repro.federated.trainer import run_local_training
+
+
+class FedAvg(FedAlgorithm):
+    """Weighted model averaging (McMahan et al.); see module docstring."""
+
+    name = "fedavg"
+
+    def client_round(
+        self,
+        model: Module,
+        global_state: dict[str, np.ndarray],
+        client: Client,
+        config: FederatedConfig,
+    ) -> ClientResult:
+        self.load_global_into(model, global_state, client, config)
+        result = run_local_training(model, client, config)
+        self.stash_local_buffers(client, result.state, config)
+        return ClientResult(
+            client_id=client.client_id,
+            state=result.state,
+            num_steps=result.num_steps,
+            num_samples=result.num_samples,
+            mean_loss=result.mean_loss,
+        )
+
+    def aggregate(
+        self,
+        global_state: dict[str, np.ndarray],
+        results: list[ClientResult],
+        config: FederatedConfig,
+    ) -> dict[str, np.ndarray]:
+        weights = [r.num_samples for r in results]
+        averaged = weighted_average_states(
+            [r.state for r in results], weights, keys=self.all_keys
+        )
+        if config.server_lr == 1.0:
+            return averaged
+        # General form: step from the old global model towards the average.
+        delta = subtract_states(global_state, averaged, self.param_keys)
+        stepped = apply_update(global_state, delta, config.server_lr)
+        # Buffers are not part of the optimization geometry; take the average.
+        for key in self._buffer_keys:
+            stepped[key] = averaged[key]
+        return stepped

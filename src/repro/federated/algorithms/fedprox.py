@@ -1,0 +1,57 @@
+"""FedProx (Algorithm 1 with the red line).
+
+Identical to FedAvg except the local objective gains a proximal term
+
+    L(w) = sum_b l(w; b) + (mu / 2) * ||w - w^t||^2,
+
+implemented as an extra ``mu * (w - w^t)`` on every local gradient (the
+optimizer's anchor mechanism).  ``mu = 0`` reduces exactly to FedAvg — a
+property the test suite pins down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grad.nn.module import Module
+from repro.federated.algorithms.base import ClientResult
+from repro.federated.algorithms.fedavg import FedAvg
+from repro.federated.client import Client
+from repro.federated.config import FederatedConfig
+from repro.federated.trainer import run_local_training
+
+
+class FedProx(FedAvg):
+    """FedAvg plus a proximal term of weight ``mu`` in the local objective."""
+
+    name = "fedprox"
+
+    def __init__(self, mu: float = 0.01):
+        if mu < 0:
+            raise ValueError(f"mu must be non-negative, got {mu}")
+        self.mu = mu
+
+    def client_round(
+        self,
+        model: Module,
+        global_state: dict[str, np.ndarray],
+        client: Client,
+        config: FederatedConfig,
+    ) -> ClientResult:
+        self.load_global_into(model, global_state, client, config)
+        # Anchor at the just-loaded global weights, in parameter order.
+        anchor = [param.data.copy() for param in model.parameters()]
+        result = run_local_training(
+            model, client, config, proximal_mu=self.mu, anchor=anchor
+        )
+        self.stash_local_buffers(client, result.state, config)
+        return ClientResult(
+            client_id=client.client_id,
+            state=result.state,
+            num_steps=result.num_steps,
+            num_samples=result.num_samples,
+            mean_loss=result.mean_loss,
+        )
+
+    def __repr__(self) -> str:
+        return f"FedProx(mu={self.mu})"

@@ -1,0 +1,114 @@
+"""Run configuration shared by server, clients and algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.federated.privacy import DifferentialPrivacy
+
+
+@dataclass
+class FederatedConfig:
+    """Hyper-parameters of a federated run (paper Section 5 defaults).
+
+    Attributes
+    ----------
+    num_rounds:
+        Communication rounds ``T`` (50 for Table 3, 100 for Figure 7,
+        500 for Figure 12).
+    local_epochs:
+        ``E``, the number of local passes per round (paper default 10).
+    batch_size:
+        Local mini-batch size (paper default 64).
+    lr:
+        Local SGD learning rate (0.01; 0.1 for rcv1).
+    momentum:
+        Local SGD momentum (paper uses 0.9).
+    weight_decay:
+        Local L2 penalty (paper uses none).
+    sample_fraction:
+        Fraction of parties sampled each round (1.0 = full participation,
+        the paper's default; 0.1 with 100 parties for Figure 12).
+    server_lr:
+        Server-side step on the aggregated update (the ``eta`` of
+        Algorithm 1 line 9; 1.0 recovers plain weighted model averaging,
+        which is what the reference implementation does).
+    bn_policy:
+        ``"average"`` — batch-norm layers are averaged and broadcast like
+        every other weight (the paper's naive default that Finding 7
+        criticizes); ``"local"`` — every party keeps its own batch-norm
+        entries (learned gamma/beta and running statistics) across rounds,
+        the FedBN-style remedy the paper's Section 6.2 sketches.  The
+        server still averages BN entries into its own copy so the global
+        model remains evaluable.
+    eval_every:
+        Evaluate the global model on the test set every k rounds.
+    eval_batch_size:
+        Batch size for evaluation passes.
+    seed:
+        Seeds party sampling and local shuffling.
+    dp:
+        Optional :class:`~repro.federated.privacy.DifferentialPrivacy`
+        settings; when set, local training clips each batch gradient and
+        adds Gaussian noise (paper Section 6.1's future direction).
+    sampler:
+        Party-sampling policy under partial participation: ``"uniform"``
+        (the paper's default, Algorithm 1 line 6) or ``"stratified"``
+        (the Section 6.1 "non-IID resistant sampling" proposal — parties
+        chosen so the sampled pool's label mix tracks the global one).
+    optimizer:
+        Local optimizer: ``"sgd"`` (the paper's choice), ``"adam"`` or
+        ``"amsgrad"`` (options the NIID-Bench reference code exposes).
+        SCAFFOLD requires ``"sgd"`` — its drift correction is defined on
+        the SGD update rule.
+    """
+
+    num_rounds: int = 50
+    local_epochs: int = 10
+    batch_size: int = 64
+    lr: float = 0.01
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    sample_fraction: float = 1.0
+    server_lr: float = 1.0
+    bn_policy: str = "average"
+    eval_every: int = 1
+    eval_batch_size: int = 256
+    seed: int = 0
+    dp: "DifferentialPrivacy | None" = None
+    sampler: str = "uniform"
+    optimizer: str = "sgd"
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.num_rounds <= 0:
+            raise ValueError(f"num_rounds must be positive, got {self.num_rounds}")
+        if self.local_epochs <= 0:
+            raise ValueError(f"local_epochs must be positive, got {self.local_epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise ValueError(
+                f"sample_fraction must be in (0, 1], got {self.sample_fraction}"
+            )
+        if self.server_lr <= 0:
+            raise ValueError(f"server_lr must be positive, got {self.server_lr}")
+        if self.bn_policy not in ("average", "local"):
+            raise ValueError(
+                f"bn_policy must be 'average' or 'local', got {self.bn_policy!r}"
+            )
+        if self.eval_every <= 0:
+            raise ValueError(f"eval_every must be positive, got {self.eval_every}")
+        if self.sampler not in ("uniform", "stratified"):
+            raise ValueError(
+                f"sampler must be 'uniform' or 'stratified', got {self.sampler!r}"
+            )
+        if self.optimizer not in ("sgd", "adam", "amsgrad"):
+            raise ValueError(
+                f"optimizer must be 'sgd', 'adam' or 'amsgrad', "
+                f"got {self.optimizer!r}"
+            )

@@ -1,0 +1,58 @@
+"""Global-model evaluation: the paper's top-1 test accuracy metric."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import DataLoader
+from repro.grad.nn.module import Module
+from repro.grad.tensor import Tensor, no_grad
+
+
+def evaluate_accuracy(model: Module, dataset, batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (eval mode, no grad)."""
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    was_training = model.training
+    model.eval()
+    correct = 0
+    with no_grad():
+        for features, labels in DataLoader(dataset, batch_size):
+            predictions = model(Tensor(features)).argmax(axis=1)
+            correct += int((predictions == labels).sum())
+    if was_training:
+        model.train()
+    return correct / len(dataset)
+
+
+def evaluate_per_party(
+    model: Module, clients, batch_size: int = 256
+) -> "np.ndarray":
+    """Accuracy of one (global) model on every party's local data.
+
+    The spread of these values is the silo-level fairness view: under
+    label skew a global model can be accurate overall yet fail the
+    specialized parties — useful context for the paper's Section 6
+    discussion even though Table 3 reports only the global test accuracy.
+    """
+    return np.array(
+        [evaluate_accuracy(model, client.dataset, batch_size) for client in clients]
+    )
+
+
+def evaluate_loss(model: Module, dataset, batch_size: int = 256) -> float:
+    """Mean cross-entropy of ``model`` on ``dataset``."""
+    from repro.grad import functional as F
+
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    was_training = model.training
+    model.eval()
+    total = 0.0
+    with no_grad():
+        for features, labels in DataLoader(dataset, batch_size):
+            loss = F.cross_entropy(model(Tensor(features)), labels, reduction="sum")
+            total += loss.item()
+    if was_training:
+        model.train()
+    return total / len(dataset)

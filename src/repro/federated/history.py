@@ -1,0 +1,104 @@
+"""Round-by-round training history (the data behind Figures 7-12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RoundRecord:
+    """Metrics from a single communication round."""
+
+    round_index: int
+    test_accuracy: float | None
+    train_loss: float
+    participants: list[int]
+    #: total bytes shipped this round (both directions, all participants),
+    #: assuming float32 payloads — the paper's communication-cost axis.
+    bytes_communicated: int = 0
+    #: local mini-batch steps taken by each participant this round
+    #: (aligned with ``participants``); feeds the wall-clock system model.
+    client_steps: list[int] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.round_index,
+            "test_accuracy": self.test_accuracy,
+            "train_loss": self.train_loss,
+            "participants": list(self.participants),
+            "bytes_communicated": self.bytes_communicated,
+            "client_steps": list(self.client_steps),
+        }
+
+
+@dataclass
+class History:
+    """Full run record with convenience accessors for curve analysis."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def rounds(self) -> np.ndarray:
+        return np.array([r.round_index for r in self.records])
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        """Per-round test accuracy (NaN for rounds without evaluation)."""
+        return np.array(
+            [np.nan if r.test_accuracy is None else r.test_accuracy for r in self.records]
+        )
+
+    @property
+    def losses(self) -> np.ndarray:
+        return np.array([r.train_loss for r in self.records])
+
+    @property
+    def final_accuracy(self) -> float:
+        evaluated = [r.test_accuracy for r in self.records if r.test_accuracy is not None]
+        if not evaluated:
+            raise ValueError("no evaluated rounds in history")
+        return float(evaluated[-1])
+
+    @property
+    def best_accuracy(self) -> float:
+        evaluated = [r.test_accuracy for r in self.records if r.test_accuracy is not None]
+        if not evaluated:
+            raise ValueError("no evaluated rounds in history")
+        return float(max(evaluated))
+
+    def accuracy_instability(self) -> float:
+        """Mean absolute round-to-round accuracy change.
+
+        The paper repeatedly observes "unstable" training curves (Findings
+        4, 7, 8); this scalar makes the claim measurable and testable.
+        """
+        acc = self.accuracies
+        acc = acc[~np.isnan(acc)]
+        if len(acc) < 2:
+            return 0.0
+        return float(np.abs(np.diff(acc)).mean())
+
+    def cumulative_communication(self) -> np.ndarray:
+        """Total bytes shipped up to and including each round.
+
+        Plotting accuracy against this axis instead of the round index is
+        the paper's Section 5.2 communication-efficiency view — it is what
+        makes SCAFFOLD's doubled payload visible.
+        """
+        return np.cumsum([r.bytes_communicated for r in self.records])
+
+    def to_dict(self) -> dict:
+        return {"records": [r.to_dict() for r in self.records]}
+
+    def curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(rounds, accuracies) restricted to evaluated rounds."""
+        mask = ~np.isnan(self.accuracies)
+        return self.rounds[mask], self.accuracies[mask]

@@ -1,0 +1,101 @@
+"""Party sampling for partial participation (paper Sections 5.6 and 6.1).
+
+Two samplers:
+
+- :func:`sample_parties` — uniform random sampling, the paper's default
+  (Algorithm 1 line 6), whose instability Figure 12 documents;
+- :class:`StratifiedSampler` — the paper's Section 6.1 proposal made
+  concrete: "instead of random sampling, selective sampling according to
+  the data distribution features of the parties may significantly
+  increase the learning stability".  Parties are chosen greedily so that
+  the pooled label distribution of the sample stays close (in KL) to the
+  global one, with a random tie-breaking seed party per round so coverage
+  still rotates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_parties(
+    num_parties: int, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly sample ``max(1, round(fraction * N))`` distinct parties.
+
+    The paper's scalability experiment uses 100 parties with fraction 0.1;
+    full participation (fraction 1.0) returns all parties in index order so
+    runs are byte-for-byte reproducible across sampler versions.
+    """
+    if num_parties <= 0:
+        raise ValueError(f"num_parties must be positive, got {num_parties}")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if fraction == 1.0:
+        return np.arange(num_parties)
+    count = max(1, int(round(fraction * num_parties)))
+    return np.sort(rng.choice(num_parties, size=count, replace=False))
+
+
+class StratifiedSampler:
+    """Label-distribution-aware party sampling (paper Section 6.1).
+
+    Parameters
+    ----------
+    label_counts:
+        ``(num_parties, num_classes)`` per-party label counts (e.g. from
+        :meth:`repro.partition.base.Partition.counts_matrix`, or collected
+        from the clients — which is a privacy trade-off the paper's
+        Section 6.1 acknowledges by pointing at sketching techniques).
+    """
+
+    def __init__(self, label_counts: np.ndarray):
+        label_counts = np.asarray(label_counts, dtype=np.float64)
+        if label_counts.ndim != 2:
+            raise ValueError(
+                f"label_counts must be (parties, classes), got {label_counts.shape}"
+            )
+        if (label_counts < 0).any():
+            raise ValueError("label counts must be non-negative")
+        if label_counts.sum() == 0:
+            raise ValueError("label counts are all zero")
+        self.label_counts = label_counts
+        self._global = label_counts.sum(axis=0)
+        self._global = self._global / self._global.sum()
+
+    @property
+    def num_parties(self) -> int:
+        return self.label_counts.shape[0]
+
+    def _kl_to_global(self, pooled: np.ndarray) -> float:
+        eps = 1e-12
+        p = self._global + eps
+        q = pooled / max(pooled.sum(), eps) + eps
+        return float(np.sum(p * np.log(p / q)))
+
+    def sample(self, fraction: float, rng: np.random.Generator) -> np.ndarray:
+        """Select parties whose pooled labels approximate the global mix.
+
+        Greedy: start from a random seed party, then repeatedly add the
+        party that most reduces KL(global || pooled-sample).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return np.arange(self.num_parties)
+        count = max(1, int(round(fraction * self.num_parties)))
+        chosen: list[int] = [int(rng.integers(self.num_parties))]
+        pooled = self.label_counts[chosen[0]].copy()
+        remaining = set(range(self.num_parties)) - set(chosen)
+        while len(chosen) < count:
+            best_party = None
+            best_kl = np.inf
+            for party in remaining:
+                kl = self._kl_to_global(pooled + self.label_counts[party])
+                if kl < best_kl:
+                    best_kl = kl
+                    best_party = party
+            chosen.append(best_party)
+            pooled += self.label_counts[best_party]
+            remaining.discard(best_party)
+        return np.sort(np.array(chosen))

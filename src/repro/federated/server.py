@@ -1,0 +1,140 @@
+"""The federation orchestrator: the "Server executes" loop of Algorithm 1.
+
+Round structure:
+
+1. sample a set of parties ``S_t``;
+2. broadcast the global model and run each party's local training (via the
+   algorithm's :meth:`client_round`);
+3. aggregate the results into the next global model (the algorithm's
+   :meth:`aggregate`);
+4. periodically evaluate top-1 accuracy on the held-out test set.
+
+The server owns a single workspace model instance; party training reloads
+weights into it instead of rebuilding, so CPU runs stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.grad.nn.module import Module
+from repro.federated.algorithms.base import FedAlgorithm
+from repro.federated.client import Client
+from repro.federated.config import FederatedConfig
+from repro.federated.evaluation import evaluate_accuracy
+from repro.federated.history import History, RoundRecord
+from repro.federated.sampling import StratifiedSampler, sample_parties
+
+
+class FederatedServer:
+    """Run a federated algorithm over a fixed set of clients.
+
+    Parameters
+    ----------
+    model:
+        Workspace model; its initial weights are round 0's global model.
+    algorithm:
+        A :class:`FedAlgorithm` (FedAvg, FedProx, Scaffold, FedNova, ...).
+    clients:
+        The parties (see :func:`repro.federated.client.make_clients`).
+    config:
+        Run hyper-parameters.
+    test_dataset:
+        Held-out data for the paper's top-1 accuracy metric (optional —
+        without it the history records losses only).
+    round_callback:
+        Optional hook ``(round_index, server) -> None`` called after each
+        round; useful for custom logging or early stopping in examples.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        algorithm: FedAlgorithm,
+        clients: list[Client],
+        config: FederatedConfig,
+        test_dataset=None,
+        round_callback: Callable[[int, "FederatedServer"], None] | None = None,
+    ):
+        if not clients:
+            raise ValueError("need at least one client")
+        self.model = model
+        self.algorithm = algorithm
+        self.clients = clients
+        self.config = config
+        self.test_dataset = test_dataset
+        self.round_callback = round_callback
+        self.global_state = model.state_dict()
+        self.history = History()
+        self._sampler_rng = np.random.default_rng(config.seed)
+        self._stratified: StratifiedSampler | None = None
+        if config.sampler == "stratified":
+            num_classes = 1 + max(
+                int(client.dataset.labels.max()) for client in clients
+            )
+            counts = np.stack(
+                [client.dataset.class_counts(num_classes) for client in clients]
+            )
+            self._stratified = StratifiedSampler(counts)
+        algorithm.prepare(model, clients, config)
+
+    @property
+    def num_parties(self) -> int:
+        return len(self.clients)
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one communication round and return its record."""
+        if self._stratified is not None:
+            participants = self._stratified.sample(
+                self.config.sample_fraction, self._sampler_rng
+            )
+        else:
+            participants = sample_parties(
+                self.num_parties, self.config.sample_fraction, self._sampler_rng
+            )
+        results = []
+        for party in participants:
+            result = self.algorithm.client_round(
+                self.model, self.global_state, self.clients[party], self.config
+            )
+            results.append(result)
+        self.global_state = self.algorithm.aggregate(
+            self.global_state, results, self.config
+        )
+
+        accuracy = None
+        if self.test_dataset is not None and (
+            (round_index + 1) % self.config.eval_every == 0
+        ):
+            accuracy = self.evaluate()
+        down, up = self.algorithm.round_payload_floats()
+        record = RoundRecord(
+            round_index=round_index,
+            test_accuracy=accuracy,
+            train_loss=float(np.mean([r.mean_loss for r in results])),
+            participants=[int(p) for p in participants],
+            bytes_communicated=4 * (down + up) * len(participants),
+            client_steps=[r.num_steps for r in results],
+        )
+        self.history.append(record)
+        if self.round_callback is not None:
+            self.round_callback(round_index, self)
+        return record
+
+    def fit(self, num_rounds: int | None = None) -> History:
+        """Run ``num_rounds`` rounds (defaults to the config's)."""
+        rounds = num_rounds if num_rounds is not None else self.config.num_rounds
+        start = len(self.history)
+        for round_index in range(start, start + rounds):
+            self.run_round(round_index)
+        return self.history
+
+    def evaluate(self, dataset=None) -> float:
+        """Top-1 accuracy of the current global model."""
+        target = dataset if dataset is not None else self.test_dataset
+        if target is None:
+            raise ValueError("no test dataset provided")
+        self.model.load_state_dict(self.global_state)
+        return evaluate_accuracy(self.model, target, self.config.eval_batch_size)

@@ -1,0 +1,117 @@
+"""Wall-clock system model: turn round histories into time-to-accuracy.
+
+The paper evaluates accuracy per *communication round*; a deployed
+federation cares about accuracy per *unit of wall-clock time*, where a
+round costs
+
+    max over participants of (compute time + transfer time)
+
+because the server waits for the slowest sampled party (synchronous FL,
+as in Figure 1).  This model replays a recorded :class:`History` under
+configurable per-party compute speeds and bandwidths, which is how the
+communication overheads of Section 3.3 (SCAFFOLD's doubled payload)
+become visible as time: an algorithm can win per-round and lose per-hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.federated.history import History
+
+
+@dataclass(frozen=True)
+class SystemModel:
+    """Per-party compute and network characteristics.
+
+    Attributes
+    ----------
+    step_time:
+        Seconds one mini-batch SGD step takes on a speed-1.0 party.
+    compute_speeds:
+        Relative speed per party (``None`` = all 1.0).  A party with
+        speed 0.5 takes twice ``step_time`` per step.
+    bandwidths:
+        Bytes/second per party for the combined down+up transfer
+        (``None`` = all ``default_bandwidth``).
+    default_bandwidth:
+        Fallback bandwidth (bytes/second).
+    server_overhead:
+        Fixed per-round seconds (aggregation, scheduling).
+    """
+
+    step_time: float = 0.01
+    compute_speeds: tuple[float, ...] | None = None
+    bandwidths: tuple[float, ...] | None = None
+    default_bandwidth: float = 1e6
+    server_overhead: float = 0.0
+
+    def __post_init__(self):
+        if self.step_time <= 0:
+            raise ValueError(f"step_time must be positive, got {self.step_time}")
+        if self.default_bandwidth <= 0:
+            raise ValueError("default_bandwidth must be positive")
+        for name, values in (("compute_speeds", self.compute_speeds),
+                             ("bandwidths", self.bandwidths)):
+            if values is not None and any(v <= 0 for v in values):
+                raise ValueError(f"all {name} must be positive")
+        if self.server_overhead < 0:
+            raise ValueError("server_overhead must be non-negative")
+
+    def _speed(self, party: int) -> float:
+        if self.compute_speeds is None:
+            return 1.0
+        return self.compute_speeds[party % len(self.compute_speeds)]
+
+    def _bandwidth(self, party: int) -> float:
+        if self.bandwidths is None:
+            return self.default_bandwidth
+        return self.bandwidths[party % len(self.bandwidths)]
+
+    def round_duration(
+        self, participants: list[int], steps: list[int], round_bytes: int
+    ) -> float:
+        """Seconds one synchronous round takes under this model."""
+        if not participants:
+            return self.server_overhead
+        if len(steps) != len(participants):
+            raise ValueError(
+                f"{len(steps)} step counts for {len(participants)} participants"
+            )
+        per_party_bytes = round_bytes / len(participants)
+        slowest = 0.0
+        for party, party_steps in zip(participants, steps):
+            compute = party_steps * self.step_time / self._speed(party)
+            transfer = per_party_bytes / self._bandwidth(party)
+            slowest = max(slowest, compute + transfer)
+        return slowest + self.server_overhead
+
+    def replay(self, history: History) -> np.ndarray:
+        """Cumulative wall-clock seconds at the end of each round."""
+        durations = [
+            self.round_duration(
+                record.participants, record.client_steps, record.bytes_communicated
+            )
+            for record in history.records
+        ]
+        return np.cumsum(durations)
+
+    def time_to_accuracy(self, history: History, target: float) -> float:
+        """Seconds until the global model first reaches ``target`` accuracy.
+
+        Returns ``inf`` when the run never gets there — the honest answer
+        for an algorithm that plateaus below the target.
+        """
+        times = self.replay(history)
+        for record, elapsed in zip(history.records, times):
+            if record.test_accuracy is not None and record.test_accuracy >= target:
+                return float(elapsed)
+        return float("inf")
+
+    def accuracy_time_curve(self, history: History) -> tuple[np.ndarray, np.ndarray]:
+        """(elapsed seconds, accuracy) pairs for evaluated rounds."""
+        times = self.replay(history)
+        mask = ~np.isnan(history.accuracies)
+        return times[mask], history.accuracies[mask]

@@ -1,0 +1,140 @@
+"""Local training: the "Party executes" block of Algorithms 1 and 2.
+
+All four algorithms share the same loop — E epochs of mini-batch SGD —
+and differ only in the gradient they step on:
+
+- FedAvg / FedNova: plain ``∇L``;
+- FedProx: ``∇L + mu (w - w^t)`` via the optimizer's proximal anchor;
+- SCAFFOLD: ``∇L - c_i + c`` via the optimizer's additive correction.
+
+``LocalTrainingResult`` reports the local step count ``tau_i`` — the
+quantity FedNova's normalization needs — and the trained state dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grad import functional as F
+from repro.grad.nn.module import Module
+from repro.grad.optim import Adam, SGD
+from repro.grad.tensor import Tensor
+from repro.federated.client import Client
+from repro.federated.config import FederatedConfig
+
+
+@dataclass
+class LocalTrainingResult:
+    """Outcome of one party's local round."""
+
+    state: dict[str, np.ndarray]
+    num_steps: int  # tau_i: number of mini-batch updates performed
+    num_samples: int  # |D^i|
+    mean_loss: float
+
+
+def run_local_training(
+    model: Module,
+    client: Client,
+    config: FederatedConfig,
+    proximal_mu: float = 0.0,
+    anchor: list[np.ndarray] | None = None,
+    correction: list[np.ndarray] | None = None,
+    correction_mode: str = "step",
+) -> LocalTrainingResult:
+    """Train ``model`` (already loaded with the global weights) locally.
+
+    The model is mutated in place; callers snapshot ``model.state_dict()``
+    from the returned result.
+    """
+    if config.optimizer == "sgd":
+        optimizer = SGD(
+            model.parameters(),
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            proximal_mu=proximal_mu,
+        )
+    else:
+        if correction is not None:
+            raise ValueError(
+                "SCAFFOLD's drift correction is defined on the SGD update "
+                "rule; use optimizer='sgd'"
+            )
+        optimizer = Adam(
+            model.parameters(),
+            lr=config.lr,
+            weight_decay=config.weight_decay,
+            amsgrad=config.optimizer == "amsgrad",
+            proximal_mu=proximal_mu,
+        )
+    if proximal_mu > 0:
+        if anchor is None:
+            raise ValueError("proximal training needs the global-model anchor")
+        optimizer.set_anchor(anchor)
+    if correction is not None:
+        optimizer.set_correction(correction, mode=correction_mode)
+
+    dp = config.dp
+    dp_rng = None
+    if dp is not None:
+        from repro.federated import privacy
+
+        dp_rng = np.random.default_rng(dp.seed + 7919 * client.client_id)
+
+    model.train()
+    params = model.parameters()
+    loader = client.loader(config.batch_size)
+    steps = 0
+    total_loss = 0.0
+    epochs = client.local_epochs if client.local_epochs is not None else config.local_epochs
+    for _ in range(epochs):
+        for features, labels in loader:
+            optimizer.zero_grad()
+            logits = model(Tensor(features))
+            loss = F.cross_entropy(logits, labels)
+            loss.backward()
+            if dp is not None:
+                grads = [p.grad for p in params if p.grad is not None]
+                privacy.clip_gradients(grads, dp.clip_norm)
+                privacy.add_noise(
+                    grads, dp.clip_norm, dp.noise_multiplier, len(labels), dp_rng
+                )
+            optimizer.step()
+            steps += 1
+            total_loss += loss.item()
+
+    return LocalTrainingResult(
+        state=model.state_dict(),
+        num_steps=steps,
+        num_samples=client.num_samples,
+        mean_loss=total_loss / max(steps, 1),
+    )
+
+
+def full_batch_gradient(
+    model: Module, client: Client, config: FederatedConfig
+) -> list[np.ndarray]:
+    """Gradient of the local objective at the current model weights.
+
+    Used by SCAFFOLD's option (i) control-variate update: ``c_i* = ∇L_i(w^t)``.
+    Computed by accumulating over mini-batches so large parties do not need
+    one giant forward pass.
+    """
+    model.train()
+    params = model.parameters()
+    model.zero_grad()
+    accum = [np.zeros(p.data.shape, dtype=np.float64) for p in params]
+    total = 0
+    for features, labels in client.loader(config.eval_batch_size):
+        model.zero_grad()
+        loss = F.cross_entropy(model(Tensor(features)), labels, reduction="sum")
+        loss.backward()
+        for slot, param in zip(accum, params):
+            if param.grad is not None:
+                slot += param.grad.astype(np.float64)
+        total += len(labels)
+    model.zero_grad()
+    return [ (slot / max(total, 1)).astype(np.float32) for slot in accum ]

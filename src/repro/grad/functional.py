@@ -1,0 +1,281 @@
+"""Efficient compound operations: convolution, pooling, softmax losses.
+
+Convolution and pooling are implemented with im2col/col2im so the heavy
+lifting happens inside a single BLAS ``matmul`` per layer, which keeps CPU
+training of the paper's CNNs practical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grad.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Rearrange sliding ``kernel x kernel`` patches into columns.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(N * out_h * out_w, C * kernel * kernel)``.
+    """
+    n, c, h, w = images.shape
+    out_h = _out_size(h, kernel, stride, padding)
+    out_w = _out_size(w, kernel, stride, padding)
+    if padding > 0:
+        images = np.pad(
+            images,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    strides = images.strides
+    shape = (n, c, out_h, out_w, kernel, kernel)
+    windows = np.lib.stride_tricks.as_strided(
+        images,
+        shape=shape,
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, k, k) -> rows of patches
+    columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kernel * kernel
+    )
+    return np.ascontiguousarray(columns)
+
+
+def col2im(
+    columns: np.ndarray,
+    image_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into images."""
+    n, c, h, w = image_shape
+    out_h = _out_size(h, kernel, stride, padding)
+    out_w = _out_size(w, kernel, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=columns.dtype)
+    cols = columns.reshape(n, out_h, out_w, c, kernel, kernel).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    for ki in range(kernel):
+        h_stop = ki + stride * out_h
+        for kj in range(kernel):
+            w_stop = kj + stride * out_w
+            padded[:, :, ki:h_stop:stride, kj:w_stop:stride] += cols[:, :, :, :, ki, kj]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D convolution (cross-correlation) over ``(N, C, H, W)`` inputs.
+
+    ``weight`` has shape ``(out_channels, in_channels, k, k)``; ``bias``
+    has shape ``(out_channels,)``.
+    """
+    n, c, h, w = x.shape
+    out_channels, in_channels, kernel, kernel2 = weight.shape
+    if kernel != kernel2:
+        raise ValueError("only square kernels are supported")
+    if in_channels != c:
+        raise ValueError(f"input has {c} channels, weight expects {in_channels}")
+    out_h = _out_size(h, kernel, stride, padding)
+    out_w = _out_size(w, kernel, stride, padding)
+
+    columns = im2col(x.data, kernel, stride, padding)
+    flat_weight = weight.data.reshape(out_channels, -1)
+    out_flat = columns @ flat_weight.T
+    if bias is not None:
+        out_flat = out_flat + bias.data
+    out_data = (
+        out_flat.reshape(n, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+    )
+    out = Tensor(out_data)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        if weight.requires_grad:
+            grad_weight = grad_flat.T @ columns
+            weight._accumulate(grad_weight.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_flat.sum(axis=0))
+        if x.requires_grad:
+            grad_columns = grad_flat @ flat_weight
+            x._accumulate(col2im(grad_columns, (n, c, h, w), kernel, stride, padding))
+
+    return out._attach(parents, backward)
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (by default) windows."""
+    if stride is None:
+        stride = kernel
+    n, c, h, w = x.shape
+    out_h = _out_size(h, kernel, stride, 0)
+    out_w = _out_size(w, kernel, stride, 0)
+
+    # Treat channels as batch so each patch row is a single channel window.
+    as_batch = x.data.reshape(n * c, 1, h, w)
+    columns = im2col(as_batch, kernel, stride, 0)  # (n*c*oh*ow, k*k)
+    arg = columns.argmax(axis=1)
+    out_flat = columns[np.arange(columns.shape[0]), arg]
+    out = Tensor(out_flat.reshape(n, c, out_h, out_w))
+
+    def backward(grad):
+        if not x.requires_grad:
+            return
+        grad_cols = np.zeros_like(columns)
+        grad_cols[np.arange(columns.shape[0]), arg] = grad.reshape(-1)
+        grad_images = col2im(grad_cols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(grad_images.reshape(n, c, h, w))
+
+    return out._attach((x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over windows."""
+    if stride is None:
+        stride = kernel
+    n, c, h, w = x.shape
+    out_h = _out_size(h, kernel, stride, 0)
+    out_w = _out_size(w, kernel, stride, 0)
+    as_batch = x.data.reshape(n * c, 1, h, w)
+    columns = im2col(as_batch, kernel, stride, 0)
+    out = Tensor(columns.mean(axis=1).reshape(n, c, out_h, out_w))
+    window = kernel * kernel
+
+    def backward(grad):
+        if not x.requires_grad:
+            return
+        grad_cols = np.repeat(grad.reshape(-1, 1), window, axis=1) / window
+        grad_images = col2im(grad_cols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(grad_images.reshape(n, c, h, w))
+
+    return out._attach((x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning ``(N, C)``."""
+    n, c, h, w = x.shape
+    return x.reshape(n, c, h * w).mean(axis=2)
+
+
+# ----------------------------------------------------------------------
+# Softmax / losses
+# ----------------------------------------------------------------------
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = Tensor(shifted - log_norm)
+    softmax = np.exp(out.data)
+
+    def backward(grad):
+        if logits.requires_grad:
+            logits._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+    return out._attach((logits,), backward)
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(logits, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy with integer class targets.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, num_classes)`` unnormalized scores.
+    targets:
+        ``(N,)`` integer class indices (a plain array or an int Tensor).
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        raise ValueError(f"targets must be 1-D class indices, got shape {targets.shape}")
+    n = logits.shape[0]
+    if targets.shape[0] != n:
+        raise ValueError("logits and targets disagree on batch size")
+
+    log_probs = log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(n), targets]
+    losses = -picked
+    if reduction == "none":
+        return losses
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "mean":
+        return losses.mean()
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def mse_loss(pred: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Mean squared error loss."""
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=pred.dtype))
+    diff = pred - target
+    squared = diff * diff
+    if reduction == "none":
+        return squared
+    if reduction == "sum":
+        return squared.sum()
+    if reduction == "mean":
+        return squared.mean()
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    if not training or p <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask)

@@ -1,0 +1,252 @@
+"""Optimizers for local training.
+
+``SGD`` carries two extensions used by the federated algorithms:
+
+- ``proximal_mu`` / :meth:`SGD.set_anchor`: adds ``mu * (w - w_anchor)`` to
+  each gradient before the update, implementing the FedProx local objective
+  (Algorithm 1, line 14 of the paper) without touching the loss graph.
+- :meth:`SGD.set_correction`: adds a fixed per-parameter correction to each
+  gradient, implementing SCAFFOLD's ``- c_i + c`` drift correction
+  (Algorithm 2, line 20 of the paper).
+
+Both follow the paper's formulation where the extra terms act on the raw
+gradient *before* momentum is applied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.grad.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and clears their gradients."""
+
+    def __init__(self, params: Iterable[Parameter]):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with momentum, weight decay, proximal term and corrections.
+
+    Parameters
+    ----------
+    params:
+        Parameters to optimize.
+    lr:
+        Learning rate (the paper uses 0.01, or 0.1 for rcv1).
+    momentum:
+        Momentum factor (the paper uses 0.9).
+    weight_decay:
+        L2 penalty added to the gradient.
+    proximal_mu:
+        FedProx ``mu``.  When positive, :meth:`set_anchor` must be called
+        with the round's global weights before training.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        proximal_mu: float = 0.0,
+    ):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if proximal_mu < 0:
+            raise ValueError(f"proximal_mu must be non-negative, got {proximal_mu}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.proximal_mu = proximal_mu
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+        self._anchor: list[np.ndarray] | None = None
+        self._correction: list[np.ndarray] | None = None
+        self._correction_mode = "step"
+
+    def set_anchor(self, anchor: Sequence[np.ndarray] | None) -> None:
+        """Fix the proximal anchor (the global model of the current round)."""
+        if anchor is None:
+            self._anchor = None
+            return
+        anchor = [np.asarray(a) for a in anchor]
+        self._check_shapes(anchor, "anchor")
+        self._anchor = anchor
+
+    def set_correction(
+        self, correction: Sequence[np.ndarray] | None, mode: str = "step"
+    ) -> None:
+        """Fix the additive correction (SCAFFOLD's ``c - c_i``).
+
+        ``mode`` decides where it enters the update:
+
+        - ``"step"`` (default): applied directly to the parameters after
+          the (possibly momentum-smoothed) gradient step —
+          ``w -= lr * correction`` — matching the NIID-Bench reference
+          implementation.  Momentum never sees the correction, which keeps
+          SCAFFOLD stable when local steps are few.
+        - ``"grad"``: added to the raw gradient before momentum, the
+          literal reading of Algorithm 2 line 20.  With momentum ``m`` the
+          correction is asymptotically amplified by ``1/(1-m)``, which can
+          destabilize training at small local-step counts.
+        """
+        if mode not in ("step", "grad"):
+            raise ValueError(f"mode must be 'step' or 'grad', got {mode!r}")
+        if correction is None:
+            self._correction = None
+            return
+        correction = [np.asarray(c) for c in correction]
+        self._check_shapes(correction, "correction")
+        self._correction = correction
+        self._correction_mode = mode
+
+    def _check_shapes(self, arrays: Sequence[np.ndarray], label: str) -> None:
+        if len(arrays) != len(self.params):
+            raise ValueError(
+                f"{label} has {len(arrays)} entries for {len(self.params)} params"
+            )
+        for array, param in zip(arrays, self.params):
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"{label} shape {array.shape} does not match "
+                    f"parameter shape {param.data.shape}"
+                )
+
+    def step(self) -> None:
+        """Apply one update; parameters without gradients are skipped."""
+        if self.proximal_mu > 0 and self._anchor is None:
+            raise RuntimeError("proximal_mu > 0 but no anchor set; call set_anchor()")
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.proximal_mu > 0:
+                grad = grad + self.proximal_mu * (param.data - self._anchor[index])
+            if self._correction is not None and self._correction_mode == "grad":
+                grad = grad + self._correction[index]
+            if self.momentum:
+                velocity = self._velocity[index]
+                if velocity is None:
+                    velocity = np.array(grad, copy=True)
+                else:
+                    velocity = self.momentum * velocity + grad
+                self._velocity[index] = velocity
+                grad = velocity
+            if self._correction is not None and self._correction_mode == "step":
+                grad = grad + self._correction[index]
+            param.data = param.data - self.lr * grad
+
+    def reset_state(self) -> None:
+        """Drop momentum buffers (used when a party starts a new round)."""
+        self._velocity = [None] * len(self.params)
+
+
+class Adam(Optimizer):
+    """Adam / AMSGrad for local training.
+
+    The NIID-Bench reference exposes ``--optimizer sgd|adam|amsgrad``;
+    this is the counterpart.  Supports the same proximal anchor as
+    :class:`SGD` so FedProx composes with adaptive local optimizers.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        amsgrad: bool = False,
+        proximal_mu: float = 0.0,
+    ):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if proximal_mu < 0:
+            raise ValueError(f"proximal_mu must be non-negative, got {proximal_mu}")
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.amsgrad = amsgrad
+        self.proximal_mu = proximal_mu
+        self._m = [np.zeros(p.data.shape, dtype=np.float64) for p in self.params]
+        self._v = [np.zeros(p.data.shape, dtype=np.float64) for p in self.params]
+        self._v_max = (
+            [np.zeros(p.data.shape, dtype=np.float64) for p in self.params]
+            if amsgrad
+            else None
+        )
+        self._step_count = 0
+        self._anchor: list[np.ndarray] | None = None
+
+    def set_anchor(self, anchor) -> None:
+        """Fix the FedProx proximal anchor (see :meth:`SGD.set_anchor`)."""
+        if anchor is None:
+            self._anchor = None
+            return
+        anchor = [np.asarray(a) for a in anchor]
+        if len(anchor) != len(self.params):
+            raise ValueError(
+                f"anchor has {len(anchor)} entries for {len(self.params)} params"
+            )
+        self._anchor = anchor
+
+    def step(self) -> None:
+        if self.proximal_mu > 0 and self._anchor is None:
+            raise RuntimeError("proximal_mu > 0 but no anchor set; call set_anchor()")
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._step_count
+        bias2 = 1.0 - beta2**self._step_count
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad.astype(np.float64)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.proximal_mu > 0:
+                grad = grad + self.proximal_mu * (param.data - self._anchor[index])
+            m = self._m[index]
+            v = self._v[index]
+            m[:] = beta1 * m + (1 - beta1) * grad
+            v[:] = beta2 * v + (1 - beta2) * grad**2
+            if self.amsgrad:
+                v_max = self._v_max[index]
+                np.maximum(v_max, v, out=v_max)
+                denom = np.sqrt(v_max / bias2) + self.eps
+            else:
+                denom = np.sqrt(v / bias2) + self.eps
+            update = (m / bias1) / denom
+            param.data = (param.data - self.lr * update).astype(param.data.dtype)
+
+    def reset_state(self) -> None:
+        """Drop moment buffers (fresh optimizer semantics per round)."""
+        for buf in self._m:
+            buf[:] = 0
+        for buf in self._v:
+            buf[:] = 0
+        if self._v_max is not None:
+            for buf in self._v_max:
+                buf[:] = 0
+        self._step_count = 0

@@ -1,0 +1,69 @@
+"""Flattening helpers: parameters/state dicts <-> single vectors.
+
+The federated algorithms reason about models as points in parameter space
+(deltas, control variates, norms).  These helpers convert between the
+structured representation and flat ``float64`` vectors so that algorithm
+code can use plain vector arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grad.nn.module import Parameter
+
+
+def parameters_to_vector(params) -> np.ndarray:
+    """Concatenate parameter arrays into one flat float64 vector."""
+    arrays = [np.asarray(p.data if isinstance(p, Parameter) else p) for p in params]
+    if not arrays:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate([a.reshape(-1).astype(np.float64) for a in arrays])
+
+
+def vector_to_parameters(vector: np.ndarray, params) -> None:
+    """Write a flat vector back into parameter arrays (in place)."""
+    vector = np.asarray(vector)
+    offset = 0
+    params = list(params)
+    total = sum(int(np.asarray(p.data).size) for p in params)
+    if vector.size != total:
+        raise ValueError(f"vector has {vector.size} entries, parameters need {total}")
+    for param in params:
+        size = param.data.size
+        chunk = vector[offset : offset + size].reshape(param.data.shape)
+        param.data = chunk.astype(param.data.dtype)
+        offset += size
+
+
+def state_dict_to_vector(state: dict[str, np.ndarray], keys=None) -> np.ndarray:
+    """Flatten selected ``state`` entries (all keys by default, sorted)."""
+    if keys is None:
+        keys = sorted(state)
+    return np.concatenate(
+        [np.asarray(state[k]).reshape(-1).astype(np.float64) for k in keys]
+    )
+
+
+def vector_to_state_dict(
+    vector: np.ndarray, template: dict[str, np.ndarray], keys=None
+) -> dict[str, np.ndarray]:
+    """Unflatten a vector using ``template`` for shapes/dtypes.
+
+    Entries not listed in ``keys`` are copied through from the template.
+    """
+    if keys is None:
+        keys = sorted(template)
+    vector = np.asarray(vector)
+    out: dict[str, np.ndarray] = {
+        k: np.asarray(v).copy() for k, v in template.items()
+    }
+    offset = 0
+    for key in keys:
+        ref = np.asarray(template[key])
+        chunk = vector[offset : offset + ref.size]
+        out[key] = chunk.reshape(ref.shape).astype(ref.dtype)
+        offset += ref.size
+    if offset != vector.size:
+        raise ValueError(f"vector has {vector.size} entries, template needs {offset}")
+    return out

@@ -1,0 +1,11 @@
+"""Top-1 accuracy — the paper's benchmark metric."""
+
+from __future__ import annotations
+
+from repro.federated.evaluation import evaluate_accuracy
+from repro.grad.nn.module import Module
+
+
+def top1_accuracy(model: Module, dataset, batch_size: int = 256) -> float:
+    """Alias of :func:`repro.federated.evaluation.evaluate_accuracy`."""
+    return evaluate_accuracy(model, dataset, batch_size)

@@ -1,0 +1,29 @@
+"""Model zoo for the reproduction (paper Section 5, "Experiments").
+
+- :class:`PaperCNN` — the paper's simple CNN for image datasets.
+- :class:`TabularMLP` — the paper's 32/16/8 MLP for tabular datasets.
+- :func:`vgg9` — the VGG-9 used in Figure 11.
+- :func:`resnet20`/:func:`resnet50` — batch-norm ResNets for Figure 11.
+- :func:`build_model` — build by name with shapes taken from a DatasetInfo.
+"""
+
+from repro.models.cnn import PaperCNN
+from repro.models.mlp import LogisticRegression, TabularMLP
+from repro.models.vgg import VGG, vgg9
+from repro.models.resnet import ResNet, resnet8, resnet20, resnet50
+from repro.models.registry import MODEL_NAMES, build_model, default_model_for
+
+__all__ = [
+    "PaperCNN",
+    "TabularMLP",
+    "LogisticRegression",
+    "VGG",
+    "vgg9",
+    "ResNet",
+    "resnet8",
+    "resnet20",
+    "resnet50",
+    "build_model",
+    "default_model_for",
+    "MODEL_NAMES",
+]

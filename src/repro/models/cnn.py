@@ -1,0 +1,57 @@
+"""The paper's CNN for image datasets.
+
+Section 5: "two 5x5 convolution layers followed by 2x2 max pooling (the
+first with 6 channels and the second with 16 channels) and two fully
+connected layers with ReLU activation (the first with 120 units and the
+second with 84 units)" — i.e. the classic LeNet-5 shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grad import nn
+from repro.grad.tensor import Tensor
+
+
+class PaperCNN(nn.Module):
+    """LeNet-style CNN, parameterized by input shape and class count.
+
+    Convolutions use padding 2 so the spatial size is halved exactly twice
+    by the pools; the input side length must therefore be divisible by 4.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        image_size: int = 16,
+        num_classes: int = 10,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if image_size % 4 != 0:
+            raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.image_size = image_size
+        self.num_classes = num_classes
+        final_side = image_size // 4
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, 6, kernel_size=5, padding=2, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(6, 16, kernel_size=5, padding=2, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        )
+        self.classifier = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(16 * final_side * final_side, 120, rng=rng),
+            nn.ReLU(),
+            nn.Linear(120, 84, rng=rng),
+            nn.ReLU(),
+            nn.Linear(84, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))

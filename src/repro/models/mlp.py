@@ -1,0 +1,59 @@
+"""The paper's MLP for tabular datasets (hidden sizes 32, 16, 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grad import nn
+from repro.grad.tensor import Tensor
+
+
+class TabularMLP(nn.Module):
+    """Three-hidden-layer ReLU MLP, exactly the paper's 32/16/8 layout."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int = 2,
+        hidden: tuple[int, ...] = (32, 16, 8),
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_features <= 0:
+            raise ValueError(f"in_features must be positive, got {in_features}")
+        if not hidden:
+            raise ValueError("need at least one hidden layer")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.num_classes = num_classes
+        layers: list[nn.Module] = []
+        widths = (in_features, *hidden)
+        for w_in, w_out in zip(widths[:-1], widths[1:]):
+            layers.append(nn.Linear(w_in, w_out, rng=rng))
+            layers.append(nn.ReLU())
+        layers.append(nn.Linear(widths[-1], num_classes, rng=rng))
+        self.net = nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.net(x)
+
+
+class LogisticRegression(nn.Module):
+    """Single linear layer — a useful sanity baseline."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int = 2,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.linear = nn.Linear(in_features, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.linear(x)

@@ -1,0 +1,83 @@
+"""Build models by name, with shapes taken from a :class:`DatasetInfo`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import DatasetInfo
+from repro.grad.nn.module import Module
+from repro.models.cnn import PaperCNN
+from repro.models.mlp import LogisticRegression, TabularMLP
+from repro.models.resnet import resnet8, resnet20, resnet50
+from repro.models.vgg import vgg9
+
+MODEL_NAMES = ("cnn", "mlp", "logistic", "vgg9", "resnet8", "resnet20", "resnet50")
+
+
+def default_model_for(info: DatasetInfo) -> str:
+    """The paper's model choice: CNN for images, MLP for tabular data."""
+    return "cnn" if info.modality == "image" else "mlp"
+
+
+def build_model(
+    name: str,
+    info: DatasetInfo,
+    seed: int = 0,
+    **kwargs,
+) -> Module:
+    """Construct a model suited to ``info`` with deterministic init.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`MODEL_NAMES`, or ``"default"`` for the paper's
+        per-modality choice.
+    info:
+        Dataset description providing input shape and class count.
+    seed:
+        Seeds the weight initialization.
+    kwargs:
+        Forwarded to the model constructor (e.g. ``width`` for vgg9,
+        ``base_width`` for resnet50).
+    """
+    rng = np.random.default_rng(seed)
+    key = name.lower()
+    if key == "default":
+        key = default_model_for(info)
+
+    if key in ("mlp", "logistic"):
+        cls = TabularMLP if key == "mlp" else LogisticRegression
+        return cls(
+            in_features=info.num_features,
+            num_classes=info.num_classes,
+            rng=rng,
+            **kwargs,
+        )
+
+    if info.modality != "image":
+        raise ValueError(f"model {name!r} needs image input, dataset is {info.modality}")
+    channels, height, width = info.input_shape
+    if height != width:
+        raise ValueError(f"expected square images, got {info.input_shape}")
+
+    if key == "cnn":
+        return PaperCNN(
+            in_channels=channels,
+            image_size=height,
+            num_classes=info.num_classes,
+            rng=rng,
+            **kwargs,
+        )
+    if key == "vgg9":
+        return vgg9(
+            in_channels=channels,
+            image_size=height,
+            num_classes=info.num_classes,
+            rng=rng,
+            **kwargs,
+        )
+    if key in ("resnet8", "resnet20", "resnet50"):
+        builder = {"resnet8": resnet8, "resnet20": resnet20, "resnet50": resnet50}[key]
+        return builder(in_channels=channels, num_classes=info.num_classes, rng=rng, **kwargs)
+
+    raise KeyError(f"unknown model {name!r}; available: {MODEL_NAMES}")

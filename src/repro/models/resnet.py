@@ -1,0 +1,194 @@
+"""Batch-norm ResNets (Figure 11 and Finding 7).
+
+The paper trains ResNet-50 on CIFAR-10 to show that models with batch
+normalization destabilize under non-IID federated averaging.  We implement
+the ResNet family faithfully — basic and bottleneck residual blocks with
+``BatchNorm2d`` everywhere PyTorch's reference puts them — and expose:
+
+- :func:`resnet50`: the paper's architecture (bottleneck, [3,4,6,3]);
+- :func:`resnet20` and :func:`resnet8`: CIFAR-style small variants that
+  exercise the identical BN-aggregation code path at a size a NumPy
+  substrate can train in benchmark time (documented substitution —
+  Finding 7 only needs *a* BN network, not 50 layers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grad import functional as F
+from repro.grad import nn
+from repro.grad.tensor import Tensor
+
+
+def _make_norm(norm: str, channels: int) -> nn.Module:
+    """Normalization factory: "batch" (the paper's setting) or "group"
+    (the buffer-free alternative used by the BN ablation)."""
+    if norm == "batch":
+        return nn.BatchNorm2d(channels)
+    if norm == "group":
+        groups = 1
+        for candidate in (8, 4, 2):
+            if channels % candidate == 0:
+                groups = candidate
+                break
+        return nn.GroupNorm(groups, channels)
+    raise ValueError(f"norm must be 'batch' or 'group', got {norm!r}")
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convolutions with BN and an identity/projection shortcut."""
+
+    expansion = 1
+
+    def __init__(
+        self,
+        in_channels: int,
+        channels: int,
+        stride: int,
+        rng: np.random.Generator,
+        norm: str = "batch",
+    ):
+        super().__init__()
+        self.conv1 = nn.Conv2d(
+            in_channels, channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = _make_norm(norm, channels)
+        self.conv2 = nn.Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = _make_norm(norm, channels)
+        if stride != 1 or in_channels != channels * self.expansion:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(
+                    in_channels,
+                    channels * self.expansion,
+                    1,
+                    stride=stride,
+                    bias=False,
+                    rng=rng,
+                ),
+                _make_norm(norm, channels * self.expansion),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class Bottleneck(nn.Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck block (the ResNet-50 building block)."""
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        channels: int,
+        stride: int,
+        rng: np.random.Generator,
+        norm: str = "batch",
+    ):
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = nn.Conv2d(in_channels, channels, 1, bias=False, rng=rng)
+        self.bn1 = _make_norm(norm, channels)
+        self.conv2 = nn.Conv2d(
+            channels, channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn2 = _make_norm(norm, channels)
+        self.conv3 = nn.Conv2d(channels, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = _make_norm(norm, out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                _make_norm(norm, out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class ResNet(nn.Module):
+    """CIFAR-style ResNet: 3x3 stem, staged blocks, global average pool."""
+
+    def __init__(
+        self,
+        block_type,
+        stage_blocks: list[int],
+        in_channels: int = 3,
+        num_classes: int = 10,
+        base_width: int = 16,
+        rng: np.random.Generator | None = None,
+        norm: str = "batch",
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.norm = norm
+        self.stem = nn.Conv2d(in_channels, base_width, 3, padding=1, bias=False, rng=rng)
+        self.stem_bn = _make_norm(norm, base_width)
+
+        stages: list[nn.Module] = []
+        channels = base_width
+        width = base_width
+        for stage_index, num_blocks in enumerate(stage_blocks):
+            stride = 1 if stage_index == 0 else 2
+            blocks: list[nn.Module] = []
+            for block_index in range(num_blocks):
+                blocks.append(
+                    block_type(
+                        channels, width, stride if block_index == 0 else 1, rng, norm
+                    )
+                )
+                channels = width * block_type.expansion
+            stages.append(nn.Sequential(*blocks))
+            width *= 2
+        self.stages = nn.Sequential(*stages)
+        self.head = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        out = self.stages(out)
+        out = F.global_avg_pool2d(out)
+        return self.head(out)
+
+    def batch_norm_modules(self) -> list[nn.Module]:
+        """All BN layers — used by BN-aware aggregation tests/ablations."""
+        return [m for m in self.modules() if isinstance(m, nn.BatchNorm2d)]
+
+
+def resnet8(
+    in_channels: int = 3, num_classes: int = 10, norm: str = "batch", rng=None
+) -> ResNet:
+    """Tiny 3-stage BasicBlock ResNet (1 block per stage)."""
+    return ResNet(
+        BasicBlock, [1, 1, 1], in_channels, num_classes, base_width=8, rng=rng, norm=norm
+    )
+
+
+def resnet20(
+    in_channels: int = 3, num_classes: int = 10, norm: str = "batch", rng=None
+) -> ResNet:
+    """The classic CIFAR ResNet-20 (3 stages of 3 BasicBlocks)."""
+    return ResNet(
+        BasicBlock, [3, 3, 3], in_channels, num_classes, base_width=16, rng=rng, norm=norm
+    )
+
+
+def resnet50(
+    in_channels: int = 3, num_classes: int = 10, base_width: int = 64, rng=None
+) -> ResNet:
+    """The paper's ResNet-50 (bottleneck, [3, 4, 6, 3], 64-wide stem).
+
+    At full width this is slow on the NumPy substrate; pass a smaller
+    ``base_width`` (or use :func:`resnet20`) for benchmark-time runs.
+    """
+    return ResNet(
+        Bottleneck, [3, 4, 6, 3], in_channels, num_classes, base_width=base_width, rng=rng
+    )

@@ -1,0 +1,87 @@
+"""VGG-9 (Figure 11, "Model Architectures").
+
+The VGG-9 used by the FedNova/NIID-Bench codebases: 6 convolution layers in
+three blocks (32-32, 64-64, 128-128) each followed by 2x2 max pooling, then
+two hidden fully-connected layers (512, 512) and the classifier — nine
+weight layers in total.  No batch normalization, which is exactly why the
+paper contrasts it with ResNet: VGG-9 trains stably under non-IID skew
+while BN models destabilize.
+
+``width`` scales all channel counts so the architecture stays benchable on
+a CPU substrate (``width=1.0`` is the paper's size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grad import nn
+from repro.grad.tensor import Tensor
+
+
+class VGG(nn.Module):
+    """VGG-style network from a block specification."""
+
+    def __init__(
+        self,
+        blocks: list[list[int]],
+        in_channels: int,
+        image_size: int,
+        num_classes: int,
+        hidden: tuple[int, ...] = (512, 512),
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        reduction = 2 ** len(blocks)
+        if image_size % reduction != 0:
+            raise ValueError(
+                f"image_size {image_size} not divisible by {reduction} "
+                f"({len(blocks)} pooling stages)"
+            )
+        layers: list[nn.Module] = []
+        channels = in_channels
+        for block in blocks:
+            for out_channels in block:
+                layers.append(
+                    nn.Conv2d(channels, out_channels, kernel_size=3, padding=1, rng=rng)
+                )
+                layers.append(nn.ReLU())
+                channels = out_channels
+            layers.append(nn.MaxPool2d(2))
+        self.features = nn.Sequential(*layers)
+
+        final_side = image_size // reduction
+        flat = channels * final_side * final_side
+        fc_layers: list[nn.Module] = [nn.Flatten()]
+        width_in = flat
+        for width_out in hidden:
+            fc_layers.append(nn.Linear(width_in, width_out, rng=rng))
+            fc_layers.append(nn.ReLU())
+            width_in = width_out
+        fc_layers.append(nn.Linear(width_in, num_classes, rng=rng))
+        self.classifier = nn.Sequential(*fc_layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+def vgg9(
+    in_channels: int = 3,
+    image_size: int = 16,
+    num_classes: int = 10,
+    width: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> VGG:
+    """The paper's VGG-9; ``width`` scales channels/hidden units."""
+
+    def scaled(n: int) -> int:
+        return max(1, int(round(n * width)))
+
+    blocks = [
+        [scaled(32), scaled(32)],
+        [scaled(64), scaled(64)],
+        [scaled(128), scaled(128)],
+    ]
+    hidden = (scaled(512), scaled(512))
+    return VGG(blocks, in_channels, image_size, num_classes, hidden, rng)

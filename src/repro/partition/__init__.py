@@ -1,0 +1,52 @@
+"""NIID-Bench data partitioning strategies (the paper's Section 4).
+
+Six non-IID strategies plus the homogeneous (IID) baseline:
+
+===========================  =============================================
+Paper notation               Class
+===========================  =============================================
+``#C = k``                   :class:`QuantityBasedLabelSkew`
+``p_k ~ Dir(beta)``          :class:`DistributionBasedLabelSkew`
+``x ~ Gau(sigma)``           :class:`NoiseBasedFeatureSkew`
+FCUBE synthetic              :class:`FCubePartitioner`
+real-world (FEMNIST)         :class:`RealWorldFeatureSkew`
+``q ~ Dir(beta)``            :class:`QuantitySkew`
+homogeneous / IID            :class:`HomogeneousPartitioner`
+===========================  =============================================
+
+All partitioners are deterministic given a ``numpy.random.Generator`` and
+produce a :class:`Partition` (per-party index arrays plus optional
+per-party feature transforms).
+"""
+
+from repro.partition.base import Partition, Partitioner
+from repro.partition.homogeneous import HomogeneousPartitioner
+from repro.partition.label_skew import (
+    DistributionBasedLabelSkew,
+    QuantityBasedLabelSkew,
+)
+from repro.partition.feature_skew import (
+    FCubePartitioner,
+    NoiseBasedFeatureSkew,
+    RealWorldFeatureSkew,
+)
+from repro.partition.quantity_skew import QuantitySkew
+from repro.partition.mixed import MixedSkew
+from repro.partition.registry import STRATEGY_EXAMPLES, parse_strategy
+from repro.partition import stats
+
+__all__ = [
+    "Partition",
+    "Partitioner",
+    "HomogeneousPartitioner",
+    "QuantityBasedLabelSkew",
+    "DistributionBasedLabelSkew",
+    "NoiseBasedFeatureSkew",
+    "FCubePartitioner",
+    "RealWorldFeatureSkew",
+    "QuantitySkew",
+    "MixedSkew",
+    "parse_strategy",
+    "STRATEGY_EXAMPLES",
+    "stats",
+]

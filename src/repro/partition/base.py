@@ -1,0 +1,142 @@
+"""Partition result type and the partitioner interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, Subset
+
+
+@dataclass
+class Partition:
+    """The outcome of splitting a dataset across parties.
+
+    Attributes
+    ----------
+    indices:
+        One index array per party, referring into the source dataset.
+    feature_transforms:
+        Optional per-party callables applied to that party's feature array
+        (used by noise-based feature skew).  ``None`` means identity.
+    unassigned:
+        Indices not assigned to any party.  Only quantity-based label skew
+        can produce these (when a label has no owning party); every other
+        strategy assigns every sample.
+    strategy:
+        Human-readable strategy tag for reports.
+    """
+
+    indices: list[np.ndarray]
+    feature_transforms: list[Callable[[np.ndarray], np.ndarray]] | None = None
+    unassigned: np.ndarray = field(default_factory=lambda: np.array([], dtype=np.int64))
+    strategy: str = ""
+
+    def __post_init__(self):
+        self.indices = [np.asarray(idx, dtype=np.int64) for idx in self.indices]
+        self.unassigned = np.asarray(self.unassigned, dtype=np.int64)
+        if self.feature_transforms is not None:
+            if len(self.feature_transforms) != len(self.indices):
+                raise ValueError(
+                    "feature_transforms must have one entry per party"
+                )
+
+    @property
+    def num_parties(self) -> int:
+        return len(self.indices)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Samples per party (the paper's ``|D^i|``)."""
+        return np.array([len(idx) for idx in self.indices])
+
+    def validate(self, dataset_size: int) -> None:
+        """Check disjointness, range, and coverage accounting.
+
+        Raises ``ValueError`` when parties overlap, indices fall outside
+        the dataset, or assigned + unassigned do not cover it exactly.
+        """
+        all_assigned = (
+            np.concatenate(self.indices) if self.indices else np.array([], dtype=np.int64)
+        )
+        combined = np.concatenate([all_assigned, self.unassigned])
+        if combined.size != dataset_size:
+            raise ValueError(
+                f"partition covers {combined.size} samples, dataset has {dataset_size}"
+            )
+        if combined.size and (combined.min() < 0 or combined.max() >= dataset_size):
+            raise ValueError("partition contains out-of-range indices")
+        if np.unique(combined).size != combined.size:
+            raise ValueError("partition assigns some sample more than once")
+
+    def counts_matrix(self, labels: np.ndarray, num_classes: int) -> np.ndarray:
+        """``(num_parties, num_classes)`` label-count matrix (Figure 3 data)."""
+        labels = np.asarray(labels)
+        matrix = np.zeros((self.num_parties, num_classes), dtype=np.int64)
+        for party, idx in enumerate(self.indices):
+            matrix[party] = np.bincount(labels[idx], minlength=num_classes)
+        return matrix
+
+    def subsets(self, dataset: ArrayDataset) -> list:
+        """Materialize per-party datasets, applying feature transforms.
+
+        Without transforms the result is a list of cheap :class:`Subset`
+        views; with transforms each party's features are copied and
+        transformed once.
+        """
+        parts = []
+        for party, idx in enumerate(self.indices):
+            view = Subset(dataset, idx)
+            transform = None
+            if self.feature_transforms is not None:
+                transform = self.feature_transforms[party]
+            if transform is None:
+                parts.append(view)
+            else:
+                parts.append(
+                    ArrayDataset(transform(view.features), view.labels, view.groups)
+                )
+        return parts
+
+
+class Partitioner:
+    """Interface: split a dataset's indices across ``num_parties`` parties."""
+
+    #: default party count used by the paper (FCUBE overrides with 4)
+    default_num_parties = 10
+
+    def partition(
+        self,
+        dataset: ArrayDataset,
+        num_parties: int,
+        rng: np.random.Generator,
+    ) -> Partition:
+        raise NotImplementedError
+
+    def _check_args(self, dataset, num_parties: int) -> None:
+        if num_parties <= 0:
+            raise ValueError(f"num_parties must be positive, got {num_parties}")
+        if len(dataset) < num_parties:
+            raise ValueError(
+                f"cannot split {len(dataset)} samples across {num_parties} parties"
+            )
+
+
+def split_evenly(
+    indices: np.ndarray, num_parties: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Shuffle ``indices`` and split into near-equal contiguous chunks."""
+    shuffled = rng.permutation(indices)
+    return [np.sort(chunk) for chunk in np.array_split(shuffled, num_parties)]
+
+
+def proportions_to_splits(
+    indices: np.ndarray, proportions: Sequence[float]
+) -> list[np.ndarray]:
+    """Split ``indices`` (already shuffled) by cumulative proportions."""
+    proportions = np.asarray(proportions, dtype=np.float64)
+    proportions = proportions / proportions.sum()
+    cuts = (np.cumsum(proportions)[:-1] * len(indices)).astype(int)
+    return [np.sort(chunk) for chunk in np.split(indices, cuts)]

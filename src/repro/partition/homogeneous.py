@@ -1,0 +1,19 @@
+"""Homogeneous (IID) partitioning — the paper's baseline setting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.base import Partition, Partitioner, split_evenly
+
+
+class HomogeneousPartitioner(Partitioner):
+    """Random, equal-size split: every party sees the global distribution."""
+
+    def partition(self, dataset, num_parties: int, rng: np.random.Generator) -> Partition:
+        self._check_args(dataset, num_parties)
+        indices = split_evenly(np.arange(len(dataset)), num_parties, rng)
+        return Partition(indices=indices, strategy="homogeneous")
+
+    def __repr__(self) -> str:
+        return "HomogeneousPartitioner()"

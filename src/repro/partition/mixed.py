@@ -1,0 +1,113 @@
+"""Mixed skew: label distribution skew combined with quantity skew.
+
+The paper studies each skew in isolation and notes real federations mix
+them (a specialized hospital is often also a small one).  ``MixedSkew``
+composes the two Dirichlet mechanisms: party sizes are drawn from
+``Dir(quantity_beta)`` and each party's label mix from
+``Dir(label_beta)``; samples are then drawn without replacement to match
+both targets as closely as the class pools allow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.base import Partition, Partitioner
+
+
+class MixedSkew(Partitioner):
+    """Quantity skew and label-distribution skew at the same time.
+
+    Parameters
+    ----------
+    label_beta:
+        Dirichlet concentration of each party's label mix (smaller =
+        parties more specialized).
+    quantity_beta:
+        Dirichlet concentration of party sizes (smaller = sizes more
+        unequal).
+    min_size:
+        Resample the size vector until every party gets at least this
+        many samples.
+    """
+
+    def __init__(
+        self,
+        label_beta: float = 0.5,
+        quantity_beta: float = 0.5,
+        min_size: int = 1,
+        max_retries: int = 100,
+    ):
+        if label_beta <= 0 or quantity_beta <= 0:
+            raise ValueError("both beta parameters must be positive")
+        if min_size < 0:
+            raise ValueError(f"min_size must be non-negative, got {min_size}")
+        self.label_beta = label_beta
+        self.quantity_beta = quantity_beta
+        self.min_size = min_size
+        self.max_retries = max_retries
+
+    def partition(self, dataset, num_parties: int, rng: np.random.Generator) -> Partition:
+        self._check_args(dataset, num_parties)
+        labels = dataset.labels
+        num_classes = int(labels.max()) + 1
+        n = len(dataset)
+
+        sizes = self._draw_sizes(n, num_parties, rng)
+
+        # Shuffled per-class pools to draw from without replacement.
+        pools = [
+            list(rng.permutation(np.flatnonzero(labels == k))) for k in range(num_classes)
+        ]
+        party_indices: list[list[int]] = [[] for _ in range(num_parties)]
+        for party in range(num_parties):
+            mix = rng.dirichlet(np.full(num_classes, self.label_beta))
+            targets = self._integer_targets(sizes[party], mix)
+            for k in range(num_classes):
+                take = min(targets[k], len(pools[k]))
+                if take:
+                    party_indices[party].extend(pools[k][:take])
+                    del pools[k][:take]
+
+        # Distribute whatever the clipping left over, smallest party first,
+        # so every sample is assigned exactly once.
+        leftovers = [index for pool in pools for index in pool]
+        rng.shuffle(leftovers)
+        for index in leftovers:
+            smallest = min(range(num_parties), key=lambda p: len(party_indices[p]))
+            party_indices[smallest].append(index)
+
+        indices = [np.sort(np.asarray(chunk, dtype=np.int64)) for chunk in party_indices]
+        return Partition(
+            indices=indices,
+            strategy=f"mixed(label={self.label_beta},quantity={self.quantity_beta})",
+        )
+
+    def _draw_sizes(self, n: int, num_parties: int, rng: np.random.Generator) -> np.ndarray:
+        for _ in range(self.max_retries):
+            proportions = rng.dirichlet(np.full(num_parties, self.quantity_beta))
+            sizes = np.floor(proportions * n).astype(int)
+            # Hand out the rounding remainder to the largest parties.
+            remainder = n - sizes.sum()
+            for party in np.argsort(proportions)[::-1][:remainder]:
+                sizes[party] += 1
+            if sizes.min() >= self.min_size:
+                return sizes
+        raise RuntimeError(
+            f"could not satisfy min_size={self.min_size} within "
+            f"{self.max_retries} retries; lower min_size or raise quantity_beta"
+        )
+
+    @staticmethod
+    def _integer_targets(size: int, mix: np.ndarray) -> np.ndarray:
+        targets = np.floor(mix * size).astype(int)
+        remainder = size - targets.sum()
+        for k in np.argsort(mix)[::-1][:remainder]:
+            targets[k] += 1
+        return targets
+
+    def __repr__(self) -> str:
+        return (
+            f"MixedSkew(label_beta={self.label_beta}, "
+            f"quantity_beta={self.quantity_beta}, min_size={self.min_size})"
+        )

@@ -1,0 +1,48 @@
+"""Quantity-skew partitioner (paper Section 4.3): ``q ~ Dir(beta)``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.base import Partition, Partitioner, proportions_to_splits
+
+
+class QuantitySkew(Partitioner):
+    """Dirichlet split of dataset *size* across parties.
+
+    Label distributions stay (approximately) global on every party; only
+    ``|D^i|`` varies.  Smaller ``beta`` makes sizes more unequal.
+
+    Parameters
+    ----------
+    beta:
+        Dirichlet concentration (paper default 0.5).
+    min_size:
+        Resample until every party has at least this many samples.
+    """
+
+    def __init__(self, beta: float, min_size: int = 1, max_retries: int = 100):
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        if min_size < 0:
+            raise ValueError(f"min_size must be non-negative, got {min_size}")
+        self.beta = beta
+        self.min_size = min_size
+        self.max_retries = max_retries
+
+    def partition(self, dataset, num_parties: int, rng: np.random.Generator) -> Partition:
+        self._check_args(dataset, num_parties)
+        all_indices = np.arange(len(dataset))
+        for _ in range(self.max_retries):
+            proportions = rng.dirichlet(np.full(num_parties, self.beta))
+            shuffled = rng.permutation(all_indices)
+            indices = proportions_to_splits(shuffled, proportions)
+            if min(len(idx) for idx in indices) >= self.min_size:
+                return Partition(indices=indices, strategy=f"q~Dir({self.beta})")
+        raise RuntimeError(
+            f"could not satisfy min_size={self.min_size} within "
+            f"{self.max_retries} retries; lower min_size or raise beta"
+        )
+
+    def __repr__(self) -> str:
+        return f"QuantitySkew(beta={self.beta}, min_size={self.min_size})"

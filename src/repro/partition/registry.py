@@ -1,0 +1,87 @@
+"""Parse the paper's strategy notation into partitioner instances.
+
+Accepted spec strings (case-insensitive, whitespace ignored):
+
+================  ==========================================
+Spec              Partitioner
+================  ==========================================
+``iid`` / ``homogeneous``   HomogeneousPartitioner
+``#C=2`` / ``label2``       QuantityBasedLabelSkew(2)
+``dir(0.5)`` / ``labeldir(0.5)``  DistributionBasedLabelSkew(0.5)
+``gau(0.1)`` / ``noise(0.1)``     NoiseBasedFeatureSkew(0.1)
+``fcube``                   FCubePartitioner
+``realworld`` / ``real-world``    RealWorldFeatureSkew
+``quantity(0.5)`` / ``qdir(0.5)`` QuantitySkew(0.5)
+================  ==========================================
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.partition.base import Partitioner
+from repro.partition.feature_skew import (
+    FCubePartitioner,
+    NoiseBasedFeatureSkew,
+    RealWorldFeatureSkew,
+)
+from repro.partition.homogeneous import HomogeneousPartitioner
+from repro.partition.label_skew import (
+    DistributionBasedLabelSkew,
+    QuantityBasedLabelSkew,
+)
+from repro.partition.quantity_skew import QuantitySkew
+from repro.partition.mixed import MixedSkew
+
+STRATEGY_EXAMPLES = (
+    "iid",
+    "#C=1",
+    "#C=2",
+    "#C=3",
+    "dir(0.5)",
+    "gau(0.1)",
+    "fcube",
+    "real-world",
+    "quantity(0.5)",
+    "mixed(0.5,0.5)",
+)
+
+_NUMBER = r"([0-9]*\.?[0-9]+)"
+
+
+def parse_strategy(spec: str) -> Partitioner:
+    """Build a partitioner from the paper's notation (see module docstring)."""
+    text = spec.strip().lower().replace(" ", "")
+    if text in ("iid", "homogeneous", "homo"):
+        return HomogeneousPartitioner()
+    if text == "fcube":
+        return FCubePartitioner()
+    if text in ("realworld", "real-world", "femnist-writers"):
+        return RealWorldFeatureSkew()
+
+    match = re.fullmatch(r"(?:#c=|label)(\d+)", text)
+    if match:
+        return QuantityBasedLabelSkew(int(match.group(1)))
+
+    match = re.fullmatch(rf"(?:labeldir|dir|p_k~dir)\({_NUMBER}\)", text)
+    if match:
+        return DistributionBasedLabelSkew(float(match.group(1)))
+
+    match = re.fullmatch(rf"(?:gau|noise|x~gau)\({_NUMBER}\)", text)
+    if match:
+        return NoiseBasedFeatureSkew(float(match.group(1)))
+
+    match = re.fullmatch(rf"(?:quantity|qdir|q~dir)\({_NUMBER}\)", text)
+    if match:
+        return QuantitySkew(float(match.group(1)))
+
+    match = re.fullmatch(rf"mixed\({_NUMBER},{_NUMBER}\)", text)
+    if match:
+        return MixedSkew(
+            label_beta=float(match.group(1)), quantity_beta=float(match.group(2))
+        )
+
+    raise ValueError(
+        f"cannot parse partition strategy {spec!r}; "
+        f"examples: {', '.join(STRATEGY_EXAMPLES)}"
+    )

@@ -1,0 +1,128 @@
+"""Partition statistics: quantify how non-IID a partition actually is.
+
+The paper motivates partitioning strategies by their ability to "quantify
+and control the imbalance level"; these metrics make that concrete and
+feed the Figure 3 style reports and the non-IID profiling extension
+(paper Section 6.1, "light-weight data techniques for profiling non-IID
+data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.base import Partition
+
+
+def _safe_distribution(counts: np.ndarray) -> np.ndarray:
+    total = counts.sum()
+    if total == 0:
+        return np.full(counts.shape, 1.0 / counts.shape[0])
+    return counts / total
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray, eps: float = 1e-12) -> float:
+    """KL(p || q) with epsilon smoothing (finite even for disjoint supports)."""
+    p = np.asarray(p, dtype=np.float64) + eps
+    q = np.asarray(q, dtype=np.float64) + eps
+    p = p / p.sum()
+    q = q / q.sum()
+    return float(np.sum(p * np.log(p / q)))
+
+
+def label_skew_index(partition: Partition, labels: np.ndarray, num_classes: int) -> float:
+    """Mean KL divergence between party label distributions and the global one.
+
+    0 for a perfectly IID split; grows with label imbalance.  This is the
+    quantity the paper's beta knob controls indirectly.
+    """
+    counts = partition.counts_matrix(labels, num_classes)
+    global_dist = _safe_distribution(counts.sum(axis=0).astype(np.float64))
+    divergences = [
+        kl_divergence(_safe_distribution(row.astype(np.float64)), global_dist)
+        for row in counts
+        if row.sum() > 0
+    ]
+    return float(np.mean(divergences)) if divergences else 0.0
+
+
+def quantity_skew_index(partition: Partition) -> float:
+    """Coefficient of variation of party sizes (0 = equal sizes)."""
+    sizes = partition.sizes.astype(np.float64)
+    if sizes.mean() == 0:
+        return 0.0
+    return float(sizes.std() / sizes.mean())
+
+
+def effective_classes_per_party(
+    partition: Partition, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """How many distinct classes each party actually holds."""
+    counts = partition.counts_matrix(labels, num_classes)
+    return (counts > 0).sum(axis=1)
+
+
+def render_heatmap(counts: np.ndarray, cell_width: int = 5) -> str:
+    """ASCII heat map of a (parties x classes) count matrix.
+
+    The text counterpart of the paper's Figure 3: shading scales with the
+    count, and the number itself is printed inside each cell.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 2:
+        raise ValueError(f"expected a 2-D count matrix, got shape {counts.shape}")
+    shades = " .:*#@"
+    peak = max(int(counts.max()), 1)
+    header = "party\\class " + "".join(f"{k:>{cell_width + 2}d}" for k in range(counts.shape[1]))
+    lines = [header]
+    for party, row in enumerate(counts):
+        cells = []
+        for value in row:
+            shade = shades[min(int(value / peak * (len(shades) - 1)), len(shades) - 1)]
+            cells.append(f"{shade}{int(value):>{cell_width}d}{shade}")
+        lines.append(f"{party:>11d} " + "".join(cells))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Summary of a partition, printable as a Figure 3 style table."""
+
+    strategy: str
+    sizes: np.ndarray
+    counts: np.ndarray
+    label_skew: float
+    quantity_skew: float
+    classes_per_party: np.ndarray
+    num_unassigned: int
+
+    def to_text(self) -> str:
+        lines = [
+            f"strategy: {self.strategy}",
+            f"parties: {len(self.sizes)}  "
+            f"label-skew(KL): {self.label_skew:.3f}  "
+            f"quantity-skew(CV): {self.quantity_skew:.3f}  "
+            f"unassigned: {self.num_unassigned}",
+            "party |  size | classes | per-class counts",
+        ]
+        for party, (size, row) in enumerate(zip(self.sizes, self.counts)):
+            counts = " ".join(f"{c:5d}" for c in row)
+            lines.append(
+                f"{party:5d} | {size:5d} | {int((row > 0).sum()):7d} | {counts}"
+            )
+        return "\n".join(lines)
+
+
+def report(partition: Partition, labels: np.ndarray, num_classes: int) -> PartitionReport:
+    """Build a :class:`PartitionReport` for a partition of ``labels``."""
+    return PartitionReport(
+        strategy=partition.strategy,
+        sizes=partition.sizes,
+        counts=partition.counts_matrix(labels, num_classes),
+        label_skew=label_skew_index(partition, labels, num_classes),
+        quantity_skew=quantity_skew_index(partition),
+        classes_per_party=effective_classes_per_party(partition, labels, num_classes),
+        num_unassigned=int(partition.unassigned.size),
+    )

@@ -1,0 +1,29 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central finite-difference gradient of scalar-valued ``fn`` at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn(x)
+        flat[i] = original - eps
+        down = fn(x)
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2.0 * eps)
+    return grad

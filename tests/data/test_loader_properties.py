@@ -1,0 +1,64 @@
+"""Hypothesis property tests for the DataLoader."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import ArrayDataset, DataLoader
+
+MAX_EXAMPLES = 30
+
+
+def dataset_of(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        np.arange(n, dtype=np.float32).reshape(n, 1),
+        rng.integers(0, 3, size=n).astype(np.int64),
+    )
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    n=st.integers(1, 100),
+    batch_size=st.integers(1, 40),
+    shuffle=st.booleans(),
+    seed=st.integers(0, 1000),
+)
+def test_every_sample_appears_exactly_once(n, batch_size, shuffle, seed):
+    loader = DataLoader(
+        dataset_of(n), batch_size, shuffle=shuffle, rng=np.random.default_rng(seed)
+    )
+    seen = np.concatenate([x[:, 0] for x, _ in loader])
+    np.testing.assert_array_equal(np.sort(seen), np.arange(n, dtype=np.float32))
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(n=st.integers(1, 100), batch_size=st.integers(1, 40))
+def test_len_matches_actual_batches(n, batch_size):
+    loader = DataLoader(dataset_of(n), batch_size)
+    assert len(list(loader)) == len(loader)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(n=st.integers(1, 100), batch_size=st.integers(1, 40))
+def test_drop_last_batches_all_full(n, batch_size):
+    loader = DataLoader(dataset_of(n), batch_size, drop_last=True)
+    batches = list(loader)
+    assert len(batches) == n // batch_size
+    assert all(len(y) == batch_size for _, y in batches)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    n=st.integers(2, 100),
+    batch_size=st.integers(1, 40),
+    seed=st.integers(0, 1000),
+)
+def test_features_and_labels_stay_aligned(n, batch_size, seed):
+    # label i = feature i mod 3 by construction below; alignment must hold
+    # through shuffling and batching.
+    features = np.arange(n, dtype=np.float32).reshape(n, 1)
+    labels = (np.arange(n) % 3).astype(np.int64)
+    ds = ArrayDataset(features, labels)
+    loader = DataLoader(ds, batch_size, shuffle=True, rng=np.random.default_rng(seed))
+    for x, y in loader:
+        np.testing.assert_array_equal(x[:, 0].astype(np.int64) % 3, y)

@@ -1,0 +1,66 @@
+"""Tests for feature transforms (the noise-based feature-skew machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.data import transforms
+
+
+class TestGaussianNoise:
+    def test_zero_variance_is_copy(self, rng):
+        x = rng.standard_normal((10, 4)).astype(np.float32)
+        out = transforms.gaussian_noise(x, 0.0, rng)
+        np.testing.assert_array_equal(out, x)
+        assert out is not x
+
+    def test_negative_variance_rejected(self, rng):
+        with pytest.raises(ValueError):
+            transforms.gaussian_noise(np.zeros((2, 2)), -1.0, rng)
+
+    def test_noise_variance_approximate(self):
+        gen = np.random.default_rng(0)
+        x = np.zeros((200, 200), dtype=np.float32)
+        out = transforms.gaussian_noise(x, 0.25, gen)
+        assert out.var() == pytest.approx(0.25, rel=0.05)
+
+    def test_preserves_dtype(self, rng):
+        x = np.zeros((4, 4), dtype=np.float32)
+        assert transforms.gaussian_noise(x, 0.1, rng).dtype == np.float32
+
+
+class TestPartyNoiseVariance:
+    def test_party_zero_is_clean(self):
+        assert transforms.party_noise_variance(0.1, 0, 10) == 0.0
+
+    def test_monotone_in_party_index(self):
+        variances = [transforms.party_noise_variance(0.1, i, 10) for i in range(10)]
+        assert variances == sorted(variances)
+        assert variances[-1] == pytest.approx(0.09)
+
+    def test_scales_with_sigma(self):
+        assert transforms.party_noise_variance(0.2, 5, 10) == pytest.approx(0.1)
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            transforms.party_noise_variance(0.1, 10, 10)
+        with pytest.raises(ValueError):
+            transforms.party_noise_variance(0.1, -1, 10)
+
+    def test_party_count_validation(self):
+        with pytest.raises(ValueError):
+            transforms.party_noise_variance(0.1, 0, 0)
+
+
+class TestMisc:
+    def test_normalize(self):
+        x = np.array([[2.0, 4.0]], dtype=np.float32)
+        out = transforms.normalize(x, mean=2.0, std=2.0)
+        np.testing.assert_allclose(out, [[0.0, 1.0]])
+
+    def test_normalize_validation(self):
+        with pytest.raises(ValueError):
+            transforms.normalize(np.zeros(2), 0.0, 0.0)
+
+    def test_flatten_images(self):
+        x = np.zeros((5, 3, 4, 4))
+        assert transforms.flatten_images(x).shape == (5, 48)

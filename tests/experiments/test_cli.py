@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "--dataset", "mnist", "--partition", "#C=2", "--alg", "fedavg"]
+        )
+        assert args.command == "run"
+        assert args.dataset == "mnist"
+        assert args.mu == 0.01
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "imagenet", "--partition", "iid", "--alg", "fedavg"]
+            )
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "mnist", "--partition", "iid", "--alg", "fedsgd"]
+            )
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "mnist" in out
+        assert "covtype" in out
+
+    def test_recommend(self, capsys):
+        assert main(["recommend", "--partition", "gau(0.1)"]) == 0
+        assert capsys.readouterr().out.strip() == "scaffold"
+
+    def test_partition_report(self, capsys):
+        code = main(
+            [
+                "partition-report",
+                "--dataset", "mnist",
+                "--partition", "dir(0.5)",
+                "--n-train", "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "label-skew" in out
+        assert "party" in out
+
+    def test_run_smoke(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset", "adult",
+                "--partition", "iid",
+                "--alg", "fedavg",
+                "--preset", "smoke",
+                "--comm-round", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+        assert "communication" in out
+
+    def test_trials_smoke(self, capsys):
+        code = main(
+            [
+                "trials",
+                "--dataset", "adult",
+                "--partition", "iid",
+                "--alg", "fedavg",
+                "--preset", "smoke",
+                "--comm-round", "2",
+                "-n", "2",
+            ]
+        )
+        assert code == 0
+        assert "+-" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_run_plot_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset", "adult",
+                "--partition", "iid",
+                "--alg", "fedavg",
+                "--preset", "smoke",
+                "--comm-round", "2",
+                "--plot",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "o=fedavg" in out  # the ASCII chart legend
+
+    def test_table3_slice(self, capsys):
+        code = main(
+            [
+                "table3",
+                "--datasets", "adult",
+                "--partitions", "iid",
+                "--algs", "fedavg",
+                "--preset", "smoke",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wins:" in out
+
+    def test_table3_save(self, capsys, tmp_path):
+        target = tmp_path / "board.json"
+        code = main(
+            [
+                "table3",
+                "--datasets", "adult",
+                "--partitions", "iid",
+                "--algs", "fedavg",
+                "--preset", "smoke",
+                "--save", str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()

@@ -1,0 +1,66 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plotting import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        blocks = " .:-=+*#%@"
+        line = sparkline(np.linspace(0, 1, 10))
+        levels = [blocks.index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_nan_rendered_as_space(self):
+        line = sparkline([1.0, np.nan, 2.0])
+        assert line[1] == " "
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_width_downsamples(self):
+        assert len(sparkline(np.arange(100), width=20)) == 20
+
+    def test_all_nan(self):
+        assert sparkline([np.nan, np.nan]) == "  "
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert line_chart({}) == "(no series)"
+
+    def test_contains_legend_and_axis(self):
+        chart = line_chart({"fedavg": [0.1, 0.5, 0.9]})
+        assert "o=fedavg" in chart
+        assert "0.900" in chart
+        assert "0.100" in chart
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = line_chart({"a": [0.0, 1.0], "b": [1.0, 0.0]})
+        assert "o=a" in chart
+        assert "x=b" in chart
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1.0]}, height=1)
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart({"a": [0.5, 0.5, 0.5]})
+        assert "o=a" in chart
+
+    def test_nan_only_series(self):
+        assert line_chart({"a": [np.nan]}) == "(no finite data)"
+
+    def test_line_count(self):
+        chart = line_chart({"a": [0.0, 1.0]}, height=5, width=20)
+        # 5 rows + axis + x-label + legend = 8 lines.
+        assert len(chart.splitlines()) == 8

@@ -1,0 +1,71 @@
+"""Tests for the experiment result store."""
+
+import pytest
+
+from repro.experiments import run_federated_experiment
+from repro.experiments.scale import SMOKE
+from repro.experiments.store import ResultStore, outcome_to_dict
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_federated_experiment("adult", "iid", "fedavg", preset=SMOKE, seed=1)
+
+
+class TestOutcomeSerialization:
+    def test_fields_present(self, outcome):
+        data = outcome_to_dict(outcome)
+        assert data["dataset"] == "adult"
+        assert data["algorithm"] == "fedavg"
+        assert data["config"]["num_rounds"] == SMOKE.num_rounds
+        assert len(data["history"]["records"]) == SMOKE.num_rounds
+        assert sum(data["party_sizes"]) <= SMOKE.n_train
+
+    def test_json_roundtrippable(self, outcome):
+        import json
+
+        text = json.dumps(outcome_to_dict(outcome))
+        assert json.loads(text)["final_accuracy"] == outcome.final_accuracy
+
+
+class TestResultStore:
+    def test_save_and_count(self, outcome, tmp_path):
+        store = ResultStore(tmp_path / "runs")
+        path = store.save(outcome)
+        assert path.exists()
+        assert len(store) == 1
+
+    def test_save_same_key_overwrites(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(outcome)
+        store.save(outcome)
+        assert len(store) == 1
+
+    def test_query_filters(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(outcome)
+        assert len(store.query(dataset="adult")) == 1
+        assert len(store.query(dataset="mnist")) == 0
+        assert len(store.query(algorithm="fedavg", partition="homogeneous")) == 1
+
+    def test_leaderboard_aggregates_seeds(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for seed in (1, 2):
+            out = run_federated_experiment(
+                "adult", "iid", "fedavg", preset=SMOKE, seed=seed
+            )
+            store.save(out)
+        board = store.leaderboard()
+        assert board.settings == [("adult", "homogeneous")]
+        ranking = board.ranking("adult", "homogeneous")
+        assert ranking[0][0] == "fedavg"
+        # Both seeds accumulated as trials.
+        entries = store.query(algorithm="fedavg")
+        assert len(entries) == 2
+
+    def test_partition_names_sanitized(self, tmp_path):
+        store = ResultStore(tmp_path)
+        out = run_federated_experiment("adult", "dir(0.5)", "fedavg", preset=SMOKE, seed=1)
+        path = store.save(out)
+        assert "(" not in path.name
+        assert "~" not in path.name

@@ -1,0 +1,61 @@
+"""Tests for the hyper-parameter sweep API."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scale import ScalePreset
+from repro.experiments.sweeps import SweepResult, sweep
+
+TINY = ScalePreset(
+    name="sweep-test", n_train=200, n_test=100, num_rounds=2, local_epochs=1, batch_size=32
+)
+
+
+class TestSweepResult:
+    def make(self):
+        result = SweepResult(parameter="lr")
+        result.curves[0.1] = np.array([0.4, 0.6])
+        result.curves[0.01] = np.array([0.3, 0.5])
+        return result
+
+    def test_finals(self):
+        assert self.make().finals() == {0.1: 0.6, 0.01: 0.5}
+
+    def test_best_value(self):
+        assert self.make().best_value() == 0.1
+
+    def test_spread(self):
+        assert self.make().spread() == pytest.approx(0.1)
+
+    def test_to_text(self):
+        text = self.make().to_text()
+        assert "sweep over lr" in text
+        assert "lr=0.1" in text
+
+
+class TestSweep:
+    def test_unknown_parameter(self):
+        with pytest.raises(KeyError):
+            sweep("dropout", [0.1], "adult", "iid")
+
+    def test_mu_requires_fedprox(self):
+        with pytest.raises(ValueError):
+            sweep("mu", [0.1], "adult", "iid", algorithm="fedavg")
+
+    def test_epochs_sweep_runs(self):
+        result = sweep(
+            "local_epochs", [1, 2], "adult", "iid", preset=TINY, seed=1
+        )
+        assert set(result.curves) == {1, 2}
+        for curve in result.curves.values():
+            assert len(curve) == TINY.num_rounds
+
+    def test_mu_sweep_runs(self):
+        result = sweep(
+            "mu", [0.0, 0.1], "adult", "iid", algorithm="fedprox", preset=TINY, seed=1
+        )
+        assert set(result.curves) == {0.0, 0.1}
+
+    def test_batch_size_sweep_changes_trajectories(self):
+        result = sweep("batch_size", [8, 64], "adult", "dir(0.5)", preset=TINY, seed=1)
+        assert not np.allclose(result.curves[8], result.curves[64])

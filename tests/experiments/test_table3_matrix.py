@@ -1,0 +1,60 @@
+"""Tests for the full Table 3 matrix API."""
+
+import pytest
+
+from repro.experiments.scale import SMOKE
+from repro.experiments.table3 import (
+    ALGORITHMS,
+    TABLE3_SETTINGS,
+    run_table3,
+    settings_matrix,
+)
+
+
+class TestSettingsMatrix:
+    def test_covers_all_nine_datasets(self):
+        assert len(TABLE3_SETTINGS) == 9
+
+    def test_image_datasets_have_full_partition_set(self):
+        for name in ("mnist", "fmnist", "cifar10", "svhn"):
+            assert "#C=3" in TABLE3_SETTINGS[name]
+            assert "gau(0.1)" in TABLE3_SETTINGS[name]
+
+    def test_tabular_skips_image_only_settings(self):
+        assert "gau(0.1)" not in TABLE3_SETTINGS["adult"]
+
+    def test_dataset_specific_rows(self):
+        assert TABLE3_SETTINGS["fcube"] == ("fcube", "iid")
+        assert TABLE3_SETTINGS["femnist"] == ("real-world", "iid")
+
+    def test_full_matrix_cell_count(self):
+        # 4 image datasets x 7 + 3 tabular x 4 + fcube 2 + femnist 2 = 44.
+        assert len(settings_matrix()) == 44
+
+    def test_filters(self):
+        cells = settings_matrix(datasets=["mnist"], partitions=["iid", "#C=1"])
+        assert cells == [("mnist", "#C=1"), ("mnist", "iid")]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            settings_matrix(datasets=["imagenet"])
+
+
+class TestRunTable3:
+    def test_small_slice_builds_leaderboard(self):
+        seen = []
+        board = run_table3(
+            datasets=["adult"],
+            partitions=["iid"],
+            algorithms=("fedavg", "fedprox"),
+            preset=SMOKE,
+            num_trials=1,
+            progress=lambda *args: seen.append(args[:3]),
+        )
+        assert board.settings == [("adult", "iid")]
+        assert len(seen) == 2
+        ranking = board.ranking("adult", "iid")
+        assert {name for name, _ in ranking} == {"fedavg", "fedprox"}
+
+    def test_default_algorithms_are_the_papers_four(self):
+        assert ALGORITHMS == ("fedavg", "fedprox", "scaffold", "fednova")

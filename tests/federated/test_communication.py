@@ -1,0 +1,111 @@
+"""Tests for communication-cost accounting (paper Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.federated import (
+    FedAvg,
+    FedProx,
+    FederatedConfig,
+    FederatedServer,
+    Scaffold,
+    make_clients,
+)
+from repro.grad import nn
+from repro.partition import HomogeneousPartitioner
+
+
+def setup(algorithm, seed=0, num_parties=4, **config_kwargs):
+    rng = np.random.default_rng(seed)
+    ds = ArrayDataset(
+        rng.standard_normal((80, 5)).astype(np.float32),
+        (np.arange(80) % 2).astype(np.int64),
+    )
+    part = HomogeneousPartitioner().partition(ds, num_parties, rng)
+    clients = make_clients(part, ds, seed=seed)
+    model = nn.Sequential(nn.Linear(5, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+    defaults = dict(num_rounds=2, local_epochs=1, batch_size=16, lr=0.05, seed=seed)
+    defaults.update(config_kwargs)
+    server = FederatedServer(model, algorithm, clients, FederatedConfig(**defaults))
+    return server, model
+
+
+class TestPayloadAccounting:
+    def test_fedavg_payload_is_model_state(self):
+        server, model = setup(FedAvg())
+        down, up = server.algorithm.round_payload_floats()
+        assert down == up == model.num_parameters()  # no buffers here
+
+    def test_buffers_counted(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.Linear(5, 4, rng=rng), nn.BatchNorm1d(4))
+        algo = FedAvg()
+        ds = ArrayDataset(
+            rng.standard_normal((20, 5)).astype(np.float32),
+            np.zeros(20, dtype=np.int64),
+        )
+        part = HomogeneousPartitioner().partition(ds, 2, rng)
+        clients = make_clients(part, ds, seed=0)
+        algo.prepare(model, clients, FederatedConfig())
+        down, _ = algo.round_payload_floats()
+        buffer_floats = sum(np.asarray(b).size for b in model.buffers())
+        assert down == model.num_parameters() + buffer_floats
+
+    def test_scaffold_doubles_parameter_traffic(self):
+        fedavg_server, model = setup(FedAvg())
+        scaffold_server, _ = setup(Scaffold())
+        avg_down, _ = fedavg_server.algorithm.round_payload_floats()
+        sca_down, sca_up = scaffold_server.algorithm.round_payload_floats()
+        # "SCAFFOLD doubles the communication size per round" (Sec. 3.3):
+        assert sca_down == avg_down + model.num_parameters()
+        assert sca_up == sca_down
+
+    def test_fedprox_costs_same_as_fedavg(self):
+        avg_server, _ = setup(FedAvg())
+        prox_server, _ = setup(FedProx(mu=0.1))
+        assert (
+            avg_server.algorithm.round_payload_floats()
+            == prox_server.algorithm.round_payload_floats()
+        )
+
+
+class TestRoundRecords:
+    def test_bytes_recorded_per_round(self):
+        server, model = setup(FedAvg(), num_parties=4)
+        server.fit(2)
+        expected = 4 * 2 * model.num_parameters() * 4  # float32 both ways, 4 parties
+        for record in server.history.records:
+            assert record.bytes_communicated == expected
+
+    def test_partial_participation_reduces_traffic(self):
+        full, model = setup(FedAvg(), num_parties=4, sample_fraction=1.0)
+        half, _ = setup(FedAvg(), num_parties=4, sample_fraction=0.5)
+        full.fit(1)
+        half.fit(1)
+        assert (
+            half.history.records[0].bytes_communicated
+            == full.history.records[0].bytes_communicated // 2
+        )
+
+    def test_cumulative_communication_monotone(self):
+        server, _ = setup(FedAvg())
+        server.fit(2)
+        cumulative = server.history.cumulative_communication()
+        assert cumulative[1] == 2 * cumulative[0]
+
+    def test_scaffold_cumulative_exceeds_fedavg(self):
+        avg, _ = setup(FedAvg())
+        sca, _ = setup(Scaffold())
+        avg.fit(2)
+        sca.fit(2)
+        assert (
+            sca.history.cumulative_communication()[-1]
+            > avg.history.cumulative_communication()[-1]
+        )
+
+    def test_bytes_in_to_dict(self):
+        server, _ = setup(FedAvg())
+        server.fit(1)
+        record = server.history.to_dict()["records"][0]
+        assert record["bytes_communicated"] > 0

@@ -1,0 +1,159 @@
+"""Failure-injection tests: the system must fail loudly, not silently.
+
+Federated pipelines are notorious for silently mis-aggregating; these
+tests pin down the error behaviour for corrupted inputs and degenerate
+federations, plus the per-party evaluation helper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.federated import (
+    FedAvg,
+    FederatedConfig,
+    FederatedServer,
+    evaluate_per_party,
+    make_clients,
+)
+from repro.federated.algorithms.base import ClientResult
+from repro.grad import nn
+from repro.partition import HomogeneousPartitioner, Partition
+
+
+def dataset(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        rng.standard_normal((n, 4)).astype(np.float32),
+        (np.arange(n) % 3).astype(np.int64),
+    )
+
+
+def model(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 3, rng=rng))
+
+
+class TestCorruptedAggregationInputs:
+    def _prepared(self):
+        ds = dataset()
+        part = HomogeneousPartitioner().partition(ds, 2, np.random.default_rng(0))
+        clients = make_clients(part, ds)
+        algo = FedAvg()
+        net = model()
+        algo.prepare(net, clients, FederatedConfig())
+        return algo, net
+
+    def test_result_with_missing_key_raises(self):
+        algo, net = self._prepared()
+        state = net.state_dict()
+        broken = dict(state)
+        del broken[next(iter(broken))]
+        results = [ClientResult(0, broken, 1, 10, 0.0)]
+        with pytest.raises(KeyError):
+            algo.aggregate(state, results, FederatedConfig())
+
+    def test_mismatched_shapes_raise(self):
+        algo, net = self._prepared()
+        state = net.state_dict()
+        broken = {k: v.copy() for k, v in state.items()}
+        key = next(iter(broken))
+        broken[key] = np.zeros((1, 1), dtype=np.float32)
+        results = [
+            ClientResult(0, broken, 1, 10, 0.0),
+            ClientResult(1, state, 1, 10, 0.0),
+        ]
+        with pytest.raises(ValueError):
+            algo.aggregate(state, results, FederatedConfig())
+
+    def test_nan_states_propagate_visibly(self):
+        # NaNs must surface in the aggregate, not be silently dropped.
+        algo, net = self._prepared()
+        state = net.state_dict()
+        poisoned = {k: v.copy() for k, v in state.items()}
+        key = next(iter(poisoned))
+        poisoned[key] = np.full_like(poisoned[key], np.nan)
+        results = [
+            ClientResult(0, poisoned, 1, 10, 0.0),
+            ClientResult(1, state, 1, 10, 0.0),
+        ]
+        merged = algo.aggregate(state, results, FederatedConfig())
+        assert np.isnan(merged[key]).all()
+
+    def test_zero_weight_results_rejected(self):
+        algo, net = self._prepared()
+        state = net.state_dict()
+        results = [ClientResult(0, state, 1, 0, 0.0)]
+        with pytest.raises(ValueError):
+            algo.aggregate(state, results, FederatedConfig())
+
+
+class TestDegenerateFederations:
+    def test_single_party_federation_works(self):
+        ds = dataset()
+        part = Partition(indices=[np.arange(len(ds))])
+        clients = make_clients(part, ds)
+        server = FederatedServer(
+            model(),
+            FedAvg(),
+            clients,
+            FederatedConfig(num_rounds=1, local_epochs=1, batch_size=16, lr=0.05),
+            test_dataset=ds,
+        )
+        history = server.fit()
+        assert history.final_accuracy > 0.0
+
+    def test_tiny_party_smaller_than_batch(self):
+        ds = dataset(n=40)
+        part = Partition(indices=[np.arange(37), np.arange(37, 40)])
+        clients = make_clients(part, ds)
+        server = FederatedServer(
+            model(),
+            FedAvg(),
+            clients,
+            FederatedConfig(num_rounds=1, local_epochs=1, batch_size=64, lr=0.05),
+        )
+        record = server.run_round(0)
+        assert np.isfinite(record.train_loss)
+
+    def test_divergent_lr_yields_nonfinite_not_crash(self):
+        # A user picking an absurd lr should see NaN/inf metrics, not an
+        # exception from deep inside the stack.
+        ds = dataset()
+        part = HomogeneousPartitioner().partition(ds, 2, np.random.default_rng(0))
+        clients = make_clients(part, ds)
+        server = FederatedServer(
+            model(),
+            FedAvg(),
+            clients,
+            FederatedConfig(num_rounds=2, local_epochs=3, batch_size=16, lr=1e4),
+            test_dataset=ds,
+        )
+        with np.errstate(all="ignore"):
+            history = server.fit()
+        assert len(history) == 2  # completed despite divergence
+
+
+class TestEvaluatePerParty:
+    def test_one_accuracy_per_party(self):
+        ds = dataset()
+        part = HomogeneousPartitioner().partition(ds, 3, np.random.default_rng(0))
+        clients = make_clients(part, ds)
+        accs = evaluate_per_party(model(), clients)
+        assert accs.shape == (3,)
+        assert ((0 <= accs) & (accs <= 1)).all()
+
+    def test_specialized_parties_differ(self):
+        # Under single-label parties, a model biased to class 0 aces the
+        # class-0 party and fails the others.
+        ds = dataset()
+        by_label = [np.flatnonzero(ds.labels == k) for k in range(3)]
+        part = Partition(indices=by_label)
+        clients = make_clients(part, ds)
+        net = model()
+        # Bias the head hard towards class 0.
+        head = net[-1]
+        head.bias.data = np.array([50.0, 0.0, 0.0], dtype=np.float32)
+        accs = evaluate_per_party(net, clients)
+        assert accs[0] == 1.0
+        assert accs[1] == 0.0 and accs[2] == 0.0

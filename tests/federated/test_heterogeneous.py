@@ -1,0 +1,113 @@
+"""Tests for heterogeneous local work (the FedNova scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.federated import (
+    Client,
+    FedAvg,
+    FederatedConfig,
+    FederatedServer,
+    heterogeneous_epochs,
+    make_clients,
+)
+from repro.grad import nn
+from repro.partition import HomogeneousPartitioner
+
+
+def dataset(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        rng.standard_normal((n, 4)).astype(np.float32),
+        (np.arange(n) % 3).astype(np.int64),
+    )
+
+
+class TestClientEpochOverride:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            Client(0, dataset(), rng, local_epochs=0)
+
+    def test_override_changes_step_count(self, rng):
+        from repro.federated.trainer import run_local_training
+
+        ds = dataset()
+        config = FederatedConfig(num_rounds=1, local_epochs=2, batch_size=30, lr=0.01)
+        model = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(0)))
+
+        default_client = Client(0, ds, np.random.default_rng(1))
+        result = run_local_training(model, default_client, config)
+        assert result.num_steps == 2 * 4  # 2 epochs x 4 batches
+
+        fast_client = Client(1, ds, np.random.default_rng(1), local_epochs=5)
+        result = run_local_training(model, fast_client, config)
+        assert result.num_steps == 5 * 4
+
+    def test_make_clients_epoch_list(self, rng):
+        ds = dataset()
+        part = HomogeneousPartitioner().partition(ds, 3, rng)
+        clients = make_clients(part, ds, local_epochs=[1, 2, 3])
+        assert [c.local_epochs for c in clients] == [1, 2, 3]
+
+    def test_make_clients_epoch_list_length_checked(self, rng):
+        ds = dataset()
+        part = HomogeneousPartitioner().partition(ds, 3, rng)
+        with pytest.raises(ValueError):
+            make_clients(part, ds, local_epochs=[1, 2])
+
+
+class TestHeterogeneousEpochs:
+    def test_range(self, rng):
+        epochs = heterogeneous_epochs(100, base_epochs=10, rng=rng)
+        assert len(epochs) == 100
+        assert min(epochs) >= 2  # low_factor 0.2 of 10
+        assert max(epochs) <= 10
+
+    def test_at_least_one_epoch(self, rng):
+        epochs = heterogeneous_epochs(50, base_epochs=2, rng=rng, low_factor=0.2)
+        assert min(epochs) >= 1
+
+    def test_actually_heterogeneous(self, rng):
+        epochs = heterogeneous_epochs(50, base_epochs=10, rng=rng)
+        assert len(set(epochs)) > 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            heterogeneous_epochs(5, 0, rng)
+        with pytest.raises(ValueError):
+            heterogeneous_epochs(5, 10, rng, low_factor=0.0)
+
+
+class TestFedNovaUnderHeterogeneity:
+    def test_fednova_differs_from_fedavg_only_with_heterogeneity(self):
+        from repro.federated import FedNova
+
+        def run(algorithm, epoch_list):
+            ds = dataset(seed=5)
+            part = HomogeneousPartitioner().partition(ds, 3, np.random.default_rng(5))
+            clients = make_clients(part, ds, seed=5, local_epochs=epoch_list)
+            model = nn.Sequential(
+                nn.Linear(4, 8, rng=np.random.default_rng(5)),
+                nn.ReLU(),
+                nn.Linear(8, 3, rng=np.random.default_rng(6)),
+            )
+            config = FederatedConfig(num_rounds=2, local_epochs=2, batch_size=20, lr=0.05, seed=5)
+            server = FederatedServer(model, algorithm, clients, config)
+            server.fit()
+            return server.global_state
+
+        homogeneous_avg = run(FedAvg(), None)
+        homogeneous_nova = run(FedNova(), None)
+        for key in homogeneous_avg:
+            np.testing.assert_allclose(
+                homogeneous_avg[key], homogeneous_nova[key], atol=1e-7
+            )
+
+        hetero = [1, 2, 6]
+        hetero_avg = run(FedAvg(), hetero)
+        hetero_nova = run(FedNova(), hetero)
+        different = any(
+            not np.allclose(hetero_avg[key], hetero_nova[key]) for key in hetero_avg
+        )
+        assert different

@@ -1,0 +1,161 @@
+"""End-to-end integration tests reproducing the paper's headline effects
+at smoke scale.
+
+These use the real pipeline (synthetic dataset -> partitioner -> clients ->
+server -> evaluation) and assert the *direction* of the paper's findings,
+with margins wide enough to be seed-robust.
+"""
+
+import numpy as np
+import pytest
+
+from repro import run_federated_experiment
+from repro.experiments.scale import SMOKE, ScalePreset
+
+FAST = ScalePreset(
+    name="fast", n_train=400, n_test=200, num_rounds=5, local_epochs=3, batch_size=32
+)
+
+
+@pytest.fixture(scope="module")
+def mnist_results():
+    """Shared runs over partitions (module-scoped: they cost seconds each)."""
+    results = {}
+    for spec in ("iid", "#C=1", "#C=3", "quantity(0.5)"):
+        results[spec] = run_federated_experiment(
+            "mnist", spec, "fedavg", preset=FAST, seed=1
+        )
+    return results
+
+
+class TestFindingOne:
+    """Finding 1: single-label skew is the hardest; quantity skew is benign."""
+
+    def test_single_label_much_worse_than_iid(self, mnist_results):
+        # Compare whole-run mean accuracy (convergence speed + quality):
+        # mnist-like is easy enough that #C=1 eventually catches up, but it
+        # is dramatically slower — exactly the paper's "most challenging".
+        iid = np.nanmean(mnist_results["iid"].history.accuracies)
+        single = np.nanmean(mnist_results["#C=1"].history.accuracies)
+        assert single < iid - 0.15
+
+    def test_more_labels_per_party_helps(self, mnist_results):
+        single = np.nanmean(mnist_results["#C=1"].history.accuracies)
+        triple = np.nanmean(mnist_results["#C=3"].history.accuracies)
+        assert triple > single
+
+    def test_quantity_skew_close_to_iid(self, mnist_results):
+        iid = mnist_results["iid"].best_accuracy
+        quantity = mnist_results["quantity(0.5)"].best_accuracy
+        assert quantity > iid - 0.1
+
+
+class TestDriftMechanism:
+    """Figure 2's mechanism: local models diverge more under label skew."""
+
+    def test_weight_divergence_larger_under_label_skew(self):
+        from repro.data import load_dataset
+        from repro.federated import FedAvg, FederatedConfig, make_clients
+        from repro.federated.algorithms.base import ClientResult
+        from repro.metrics import pairwise_weight_divergence
+        from repro.models import build_model
+        from repro.partition import parse_strategy
+
+        train, _, info = load_dataset("mnist", n_train=400, n_test=50, seed=0)
+        divergences = {}
+        for spec in ("iid", "#C=1"):
+            part = parse_strategy(spec).partition(train, 5, np.random.default_rng(0))
+            clients = make_clients(part, train, seed=0, drop_empty=True)
+            model = build_model("cnn", info, seed=0)
+            config = FederatedConfig(num_rounds=1, local_epochs=3, batch_size=32, lr=0.01)
+            algo = FedAvg()
+            algo.prepare(model, clients, config)
+            global_state = model.state_dict()
+            states = []
+            for client in clients:
+                result = algo.client_round(model, global_state, client, config)
+                states.append(result.state)
+            keys = [k for k, _ in model.named_parameters()]
+            divergences[spec] = pairwise_weight_divergence(states, keys)
+        assert divergences["#C=1"] > 1.5 * divergences["iid"]
+
+
+class TestAlgorithmsOnRealPipeline:
+    @pytest.mark.parametrize("algorithm", ["fedavg", "fedprox", "scaffold", "fednova"])
+    def test_all_algorithms_learn_iid_mnist(self, algorithm):
+        outcome = run_federated_experiment(
+            "mnist", "iid", algorithm, preset=FAST, seed=2
+        )
+        assert outcome.best_accuracy > 0.6, algorithm
+
+    def test_tabular_pipeline(self):
+        outcome = run_federated_experiment(
+            "covtype", "dir(0.5)", "fedavg", preset=FAST, num_rounds=10, seed=2
+        )
+        assert outcome.best_accuracy > 0.6
+
+    def test_fcube_pipeline(self):
+        outcome = run_federated_experiment(
+            "fcube", "fcube", "fedavg", preset=SMOKE, seed=2
+        )
+        assert outcome.best_accuracy > 0.9
+        assert outcome.partition_result.num_parties == 4
+
+    def test_femnist_realworld_pipeline(self):
+        outcome = run_federated_experiment(
+            "femnist",
+            "real-world",
+            "fedavg",
+            preset=FAST,
+            seed=2,
+            dataset_kwargs={"num_writers": 20},
+        )
+        assert outcome.best_accuracy > 0.6
+
+    def test_noise_feature_skew_pipeline(self):
+        outcome = run_federated_experiment(
+            "fmnist", "gau(0.1)", "fedavg", preset=FAST, seed=2
+        )
+        assert outcome.best_accuracy > 0.5
+
+
+class TestPartialParticipation:
+    def test_sampling_runs_and_records(self):
+        outcome = run_federated_experiment(
+            "mnist",
+            "iid",
+            "fedavg",
+            preset=SMOKE,
+            num_parties=20,
+            sample_fraction=0.2,
+            seed=3,
+        )
+        for record in outcome.history.records:
+            assert len(record.participants) == 4
+
+    def test_scaffold_partial_participation_runs(self):
+        # Finding 8 says SCAFFOLD degrades here — it must still *run*.
+        outcome = run_federated_experiment(
+            "mnist",
+            "iid",
+            "scaffold",
+            preset=SMOKE,
+            num_parties=10,
+            sample_fraction=0.3,
+            seed=3,
+        )
+        assert np.isfinite(outcome.history.accuracies).all()
+
+
+class TestReproducibility:
+    def test_same_seed_same_run(self):
+        a = run_federated_experiment("adult", "dir(0.5)", "fedavg", preset=SMOKE, seed=9)
+        b = run_federated_experiment("adult", "dir(0.5)", "fedavg", preset=SMOKE, seed=9)
+        np.testing.assert_array_equal(a.history.accuracies, b.history.accuracies)
+
+    def test_different_seed_different_partition(self):
+        a = run_federated_experiment("adult", "dir(0.5)", "fedavg", preset=SMOKE, seed=9)
+        b = run_federated_experiment("adult", "dir(0.5)", "fedavg", preset=SMOKE, seed=10)
+        assert not np.array_equal(
+            a.partition_result.sizes, b.partition_result.sizes
+        ) or not np.array_equal(a.history.accuracies, b.history.accuracies)

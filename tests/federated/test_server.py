@@ -1,0 +1,154 @@
+"""Server loop mechanics: determinism, evaluation cadence, BN policies."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.federated import (
+    FedAvg,
+    FederatedConfig,
+    FederatedServer,
+    make_clients,
+)
+from repro.grad import nn
+from repro.partition import HomogeneousPartitioner
+
+
+def toy_split(seed=0, n=90, n_test=60, dim=5, classes=3):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((dim, classes)).astype(np.float32)
+
+    def sample(count):
+        x = rng.standard_normal((count, dim)).astype(np.float32)
+        return ArrayDataset(x, (x @ w).argmax(axis=1).astype(np.int64))
+
+    return sample(n), sample(n_test)
+
+
+def bn_model(seed=0, dim=5, classes=3):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Linear(dim, 8, rng=rng), nn.BatchNorm1d(8), nn.ReLU(), nn.Linear(8, classes, rng=rng)
+    )
+
+
+def make_server(seed=0, num_parties=3, model=None, **config_kwargs):
+    train, test = toy_split(seed)
+    part = HomogeneousPartitioner().partition(train, num_parties, np.random.default_rng(seed))
+    clients = make_clients(part, train, seed=seed)
+    if model is None:
+        rng = np.random.default_rng(seed)
+        model = nn.Sequential(nn.Linear(5, 16, rng=rng), nn.ReLU(), nn.Linear(16, 3, rng=rng))
+    defaults = dict(num_rounds=3, local_epochs=2, batch_size=16, lr=0.05, seed=seed)
+    defaults.update(config_kwargs)
+    return FederatedServer(model, FedAvg(), clients, FederatedConfig(**defaults), test_dataset=test)
+
+
+class TestServerMechanics:
+    def test_requires_clients(self):
+        train, test = toy_split()
+        with pytest.raises(ValueError):
+            FederatedServer(bn_model(), FedAvg(), [], FederatedConfig())
+
+    def test_runs_config_round_count(self):
+        server = make_server(num_rounds=4)
+        history = server.fit()
+        assert len(history) == 4
+
+    def test_fit_is_resumable(self):
+        server = make_server()
+        server.fit(2)
+        server.fit(2)
+        assert [r.round_index for r in server.history.records] == [0, 1, 2, 3]
+
+    def test_identical_seeds_identical_runs(self):
+        a = make_server(seed=3)
+        b = make_server(seed=3)
+        a.fit(3)
+        b.fit(3)
+        for key in a.global_state:
+            np.testing.assert_array_equal(a.global_state[key], b.global_state[key])
+        np.testing.assert_allclose(a.history.accuracies, b.history.accuracies)
+
+    def test_different_seeds_differ(self):
+        a = make_server(seed=3)
+        b = make_server(seed=4)
+        a.fit(2)
+        b.fit(2)
+        key = next(iter(a.global_state))
+        assert not np.array_equal(a.global_state[key], b.global_state[key])
+
+    def test_eval_every_skips_rounds(self):
+        server = make_server(num_rounds=4, eval_every=2)
+        history = server.fit()
+        evals = [r.test_accuracy is not None for r in history.records]
+        assert evals == [False, True, False, True]
+
+    def test_round_callback_invoked(self):
+        seen = []
+        server = make_server()
+        server.round_callback = lambda idx, srv: seen.append(idx)
+        server.fit(3)
+        assert seen == [0, 1, 2]
+
+    def test_no_test_dataset_records_loss_only(self):
+        server = make_server()
+        server.test_dataset = None
+        history = server.fit(2)
+        assert all(r.test_accuracy is None for r in history.records)
+        assert all(np.isfinite(r.train_loss) for r in history.records)
+
+    def test_evaluate_without_dataset_raises(self):
+        server = make_server()
+        server.test_dataset = None
+        with pytest.raises(ValueError):
+            server.evaluate()
+
+    def test_partial_participation_recorded(self):
+        server = make_server(num_parties=4, sample_fraction=0.5)
+        record = server.run_round(0)
+        assert len(record.participants) == 2
+
+    def test_global_state_independent_of_workspace(self):
+        # Mutating the workspace model after a round must not corrupt the
+        # recorded global state (state dicts are copies).
+        server = make_server()
+        server.fit(1)
+        key = next(iter(server.global_state))
+        before = server.global_state[key].copy()
+        for param in server.model.parameters():
+            param.data += 100.0
+        np.testing.assert_array_equal(server.global_state[key], before)
+
+
+class TestBNPolicies:
+    def test_average_policy_broadcasts_buffers(self):
+        model = bn_model()
+        server = make_server(model=model, bn_policy="average")
+        server.fit(2)
+        # Global state's BN buffers moved away from init (0 mean, 1 var).
+        mean_key = [k for k in server.global_state if k.endswith("running_mean")][0]
+        assert np.abs(server.global_state[mean_key]).sum() > 0
+
+    def test_local_policy_keeps_party_bn_state(self):
+        model = bn_model()
+        server = make_server(model=model, bn_policy="local")
+        server.fit(2)
+        # Every client stashed its own BN entries.
+        for client in server.clients:
+            assert "bn_local" in client.state
+        # And party BN statistics differ across parties.
+        mean_key = [k for k in server.global_state if k.endswith("running_mean")][0]
+        party = server.clients[0].state["bn_local"][mean_key]
+        other = server.clients[1].state["bn_local"][mean_key]
+        assert not np.allclose(party, other)
+
+    def test_policies_diverge(self):
+        a = make_server(model=bn_model(), bn_policy="average", seed=5)
+        b = make_server(model=bn_model(), bn_policy="local", seed=5)
+        a.fit(3)
+        b.fit(3)
+        # Learned parameters end up different because parties normalized
+        # with different statistics from round 2 on.
+        key = [k for k in a.global_state if k.endswith("0.weight")][0]
+        assert not np.allclose(a.global_state[key], b.global_state[key])

@@ -1,0 +1,127 @@
+"""Tests for the wall-clock system model (time-to-accuracy)."""
+
+import numpy as np
+import pytest
+
+from repro.federated import SystemModel
+from repro.federated.history import History, RoundRecord
+
+
+def record(round_index, accuracy, participants, steps, nbytes):
+    return RoundRecord(
+        round_index=round_index,
+        test_accuracy=accuracy,
+        train_loss=1.0,
+        participants=participants,
+        bytes_communicated=nbytes,
+        client_steps=steps,
+    )
+
+
+def history(*records):
+    h = History()
+    for r in records:
+        h.append(r)
+    return h
+
+
+class TestValidation:
+    def test_step_time_positive(self):
+        with pytest.raises(ValueError):
+            SystemModel(step_time=0.0)
+
+    def test_speeds_positive(self):
+        with pytest.raises(ValueError):
+            SystemModel(compute_speeds=(1.0, 0.0))
+
+    def test_bandwidths_positive(self):
+        with pytest.raises(ValueError):
+            SystemModel(bandwidths=(-1.0,))
+
+    def test_overhead_nonnegative(self):
+        with pytest.raises(ValueError):
+            SystemModel(server_overhead=-1.0)
+
+    def test_steps_participants_alignment(self):
+        model = SystemModel()
+        with pytest.raises(ValueError):
+            model.round_duration([0, 1], [5], 100)
+
+
+class TestRoundDuration:
+    def test_homogeneous_round(self):
+        model = SystemModel(step_time=0.1, default_bandwidth=1000.0)
+        # 2 parties, 10 steps each, 2000 bytes total => 1000 bytes each.
+        duration = model.round_duration([0, 1], [10, 10], 2000)
+        assert duration == pytest.approx(10 * 0.1 + 1.0)
+
+    def test_waits_for_slowest_party(self):
+        model = SystemModel(step_time=0.1, compute_speeds=(1.0, 0.25))
+        duration = model.round_duration([0, 1], [10, 10], 0)
+        # party 1 runs at quarter speed: 10 * 0.1 / 0.25 = 4 seconds.
+        assert duration == pytest.approx(4.0)
+
+    def test_bandwidth_matters(self):
+        fast = SystemModel(step_time=1e-9, default_bandwidth=1e6)
+        slow = SystemModel(step_time=1e-9, default_bandwidth=1e3)
+        nbytes = 10_000
+        assert slow.round_duration([0], [1], nbytes) > fast.round_duration([0], [1], nbytes)
+
+    def test_server_overhead_added(self):
+        model = SystemModel(step_time=0.1, server_overhead=5.0)
+        assert model.round_duration([0], [1], 0) == pytest.approx(5.1)
+
+    def test_empty_round(self):
+        model = SystemModel(server_overhead=2.0)
+        assert model.round_duration([], [], 0) == 2.0
+
+
+class TestReplay:
+    def test_cumulative(self):
+        h = history(
+            record(0, 0.5, [0], [10], 0),
+            record(1, 0.6, [0], [10], 0),
+        )
+        model = SystemModel(step_time=0.1)
+        np.testing.assert_allclose(model.replay(h), [1.0, 2.0])
+
+    def test_time_to_accuracy(self):
+        h = history(
+            record(0, 0.5, [0], [10], 0),
+            record(1, 0.8, [0], [10], 0),
+        )
+        model = SystemModel(step_time=0.1)
+        assert model.time_to_accuracy(h, 0.7) == pytest.approx(2.0)
+        assert model.time_to_accuracy(h, 0.4) == pytest.approx(1.0)
+
+    def test_unreached_target_is_inf(self):
+        h = history(record(0, 0.5, [0], [10], 0))
+        assert SystemModel().time_to_accuracy(h, 0.99) == float("inf")
+
+    def test_accuracy_time_curve_skips_unevaluated(self):
+        h = history(
+            record(0, None, [0], [10], 0),
+            record(1, 0.8, [0], [10], 0),
+        )
+        times, accs = SystemModel(step_time=0.1).accuracy_time_curve(h)
+        assert len(times) == 1
+        np.testing.assert_allclose(accs, [0.8])
+
+    def test_doubled_bytes_double_transfer_time(self):
+        # SCAFFOLD's 2x payload becomes 2x transfer time per round.
+        model = SystemModel(step_time=1e-12, default_bandwidth=100.0)
+        h1 = history(record(0, 0.5, [0], [1], 100))
+        h2 = history(record(0, 0.5, [0], [1], 200))
+        assert model.replay(h2)[0] == pytest.approx(2 * model.replay(h1)[0])
+
+
+class TestEndToEnd:
+    def test_replay_real_history(self):
+        from repro import run_federated_experiment
+        from repro.experiments.scale import SMOKE
+
+        outcome = run_federated_experiment("adult", "iid", "fedavg", preset=SMOKE, seed=0)
+        model = SystemModel(step_time=0.01, default_bandwidth=1e6)
+        times = model.replay(outcome.history)
+        assert len(times) == len(outcome.history)
+        assert (np.diff(times) > 0).all()

@@ -1,0 +1,98 @@
+"""Tests for the local-training block shared by all algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.federated import Client, FederatedConfig
+from repro.federated.trainer import full_batch_gradient, run_local_training
+from repro.grad import nn
+
+
+def dataset(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        rng.standard_normal((n, 4)).astype(np.float32),
+        (np.arange(n) % 2).astype(np.int64),
+    )
+
+
+def client(seed=0, **kwargs):
+    return Client(0, dataset(seed=seed), np.random.default_rng(seed), **kwargs)
+
+
+def model(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+
+
+def config(**kwargs):
+    defaults = dict(num_rounds=1, local_epochs=2, batch_size=16, lr=0.05)
+    defaults.update(kwargs)
+    return FederatedConfig(**defaults)
+
+
+class TestRunLocalTraining:
+    def test_step_count(self):
+        # 64 samples / batch 16 = 4 batches, 2 epochs -> 8 steps.
+        result = run_local_training(model(), client(), config())
+        assert result.num_steps == 8
+        assert result.num_samples == 64
+
+    def test_state_is_a_snapshot(self):
+        net = model()
+        result = run_local_training(net, client(), config())
+        key = next(iter(result.state))
+        before = result.state[key].copy()
+        for param in net.parameters():
+            param.data += 100.0
+        np.testing.assert_array_equal(result.state[key], before)
+
+    def test_mean_loss_finite_and_positive(self):
+        result = run_local_training(model(), client(), config())
+        assert np.isfinite(result.mean_loss)
+        assert result.mean_loss > 0
+
+    def test_training_changes_weights(self):
+        net = model()
+        before = net.state_dict()
+        run_local_training(net, client(), config())
+        key = [k for k in before if k.endswith("weight")][0]
+        assert not np.allclose(before[key], net.state_dict()[key])
+
+    def test_prox_needs_anchor(self):
+        with pytest.raises(ValueError):
+            run_local_training(model(), client(), config(), proximal_mu=0.5)
+
+    def test_loss_decreases_with_more_epochs(self):
+        quick = run_local_training(model(seed=1), client(seed=1), config(local_epochs=1))
+        long = run_local_training(model(seed=1), client(seed=1), config(local_epochs=8))
+        assert long.mean_loss < quick.mean_loss
+
+
+class TestFullBatchGradient:
+    def test_matches_direct_computation(self):
+        from repro.grad import Tensor, functional as F
+
+        net = model(seed=3)
+        c = client(seed=3)
+        grads = full_batch_gradient(net, c, config())
+
+        net.zero_grad()
+        loss = F.cross_entropy(
+            net(Tensor(c.dataset.features)), c.dataset.labels, reduction="mean"
+        )
+        loss.backward()
+        for estimated, param in zip(grads, net.parameters()):
+            np.testing.assert_allclose(estimated, param.grad, rtol=1e-4, atol=1e-6)
+
+    def test_leaves_no_grad_residue(self):
+        net = model()
+        full_batch_gradient(net, client(), config())
+        assert all(param.grad is None for param in net.parameters())
+
+    def test_shapes_match_parameters(self):
+        net = model()
+        grads = full_batch_gradient(net, client(), config())
+        for grad, param in zip(grads, net.parameters()):
+            assert grad.shape == param.data.shape

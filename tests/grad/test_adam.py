@@ -1,0 +1,159 @@
+"""Tests for the Adam/AMSGrad local optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.grad import Tensor, functional as F, nn
+from repro.grad.nn.module import Parameter
+from repro.grad.optim import Adam
+
+
+def make_param(values):
+    return Parameter(np.asarray(values, dtype=np.float32))
+
+
+class TestValidation:
+    def test_lr(self):
+        with pytest.raises(ValueError):
+            Adam([make_param([1.0])], lr=0.0)
+
+    def test_betas(self):
+        with pytest.raises(ValueError):
+            Adam([make_param([1.0])], betas=(1.0, 0.999))
+
+    def test_mu(self):
+        with pytest.raises(ValueError):
+            Adam([make_param([1.0])], proximal_mu=-1.0)
+
+    def test_anchor_length(self):
+        opt = Adam([make_param([1.0])], proximal_mu=0.1)
+        with pytest.raises(ValueError):
+            opt.set_anchor([np.zeros(1), np.zeros(1)])
+
+    def test_prox_without_anchor(self):
+        p = make_param([1.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt = Adam([p], proximal_mu=0.5)
+        with pytest.raises(RuntimeError):
+            opt.step()
+
+
+class TestUpdateRule:
+    def test_first_step_is_lr_sized(self):
+        # With bias correction, the first Adam step is ~lr * sign(grad).
+        p = make_param([0.0])
+        p.grad = np.array([3.0], dtype=np.float32)
+        Adam([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [-0.1], rtol=1e-4)
+
+    def test_scale_invariance(self):
+        # Adam's step is (nearly) invariant to gradient magnitude.
+        results = []
+        for scale in (1.0, 100.0):
+            p = make_param([0.0])
+            p.grad = np.array([scale], dtype=np.float32)
+            Adam([p], lr=0.1).step()
+            results.append(float(p.data[0]))
+        assert results[0] == pytest.approx(results[1], rel=1e-3)
+
+    def test_skips_missing_grads(self):
+        p = make_param([1.0])
+        Adam([p]).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = make_param([5.0])
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            p.grad = np.zeros(1, dtype=np.float32)
+            opt.step()
+        assert abs(float(p.data[0])) < 5.0
+
+    def test_amsgrad_keeps_max_second_moment(self):
+        p = make_param([0.0])
+        opt = Adam([p], lr=0.1, amsgrad=True)
+        p.grad = np.array([100.0], dtype=np.float32)
+        opt.step()
+        v_after_spike = opt._v_max[0].copy()
+        p.grad = np.array([0.01], dtype=np.float32)
+        opt.step()
+        # The max buffer must not shrink after the spike.
+        assert (opt._v_max[0] >= v_after_spike * 0.99).all()
+
+    def test_prox_pulls_towards_anchor(self):
+        p = make_param([2.0])
+        opt = Adam([p], lr=0.1, proximal_mu=1.0)
+        opt.set_anchor([np.array([0.0])])
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert float(p.data[0]) < 2.0
+
+    def test_reset_state(self):
+        p = make_param([0.0])
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        opt.reset_state()
+        assert opt._step_count == 0
+        assert float(np.abs(opt._m[0]).sum()) == 0.0
+
+    def test_trains_a_model(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((100, 4)).astype(np.float32)
+        w = rng.standard_normal((4, 3)).astype(np.float32)
+        y = (x @ w).argmax(axis=1)
+        model = nn.Sequential(nn.Linear(4, 3, rng=rng))
+        opt = Adam(model.parameters(), lr=0.05)
+        for _ in range(60):
+            opt.zero_grad()
+            F.cross_entropy(model(Tensor(x)), y).backward()
+            opt.step()
+        acc = (model(Tensor(x)).argmax(axis=1) == y).mean()
+        assert acc > 0.9
+
+
+class TestFederatedIntegration:
+    def test_adam_local_optimizer_runs(self):
+        from repro import run_federated_experiment
+        from repro.experiments.scale import SMOKE
+
+        outcome = run_federated_experiment(
+            "adult", "iid", "fedavg", preset=SMOKE, seed=2, lr=0.01,
+        )
+        # Same cell with adam locally.
+        from repro.data import load_dataset
+        from repro.federated import FedAvg, FederatedConfig, FederatedServer, make_clients
+        from repro.models import build_model
+        from repro.partition import parse_strategy
+
+        train, test, info = load_dataset("adult", n_train=300, n_test=150, seed=2)
+        part = parse_strategy("iid").partition(train, 5, np.random.default_rng(2))
+        clients = make_clients(part, train, seed=2)
+        config = FederatedConfig(
+            num_rounds=3, local_epochs=2, batch_size=32, lr=0.005, optimizer="adam"
+        )
+        server = FederatedServer(
+            build_model("mlp", info, seed=2), FedAvg(), clients, config, test_dataset=test
+        )
+        history = server.fit()
+        assert np.isfinite(history.accuracies).all()
+
+    def test_scaffold_requires_sgd(self):
+        from repro.data import ArrayDataset
+        from repro.federated import FederatedConfig, Scaffold, make_clients, FederatedServer
+        from repro.partition import HomogeneousPartitioner
+
+        rng = np.random.default_rng(0)
+        ds = ArrayDataset(
+            rng.standard_normal((40, 4)).astype(np.float32),
+            (np.arange(40) % 2).astype(np.int64),
+        )
+        part = HomogeneousPartitioner().partition(ds, 2, rng)
+        clients = make_clients(part, ds)
+        model = nn.Sequential(nn.Linear(4, 2, rng=rng))
+        config = FederatedConfig(
+            num_rounds=1, local_epochs=1, batch_size=16, lr=0.01, optimizer="adam"
+        )
+        server = FederatedServer(model, Scaffold(), clients, config)
+        with pytest.raises(ValueError, match="SGD"):
+            server.run_round(0)

@@ -1,0 +1,107 @@
+"""Tests for GroupNorm (the buffer-free BN alternative)."""
+
+import numpy as np
+import pytest
+
+from repro.grad import Tensor, nn
+
+from tests.conftest import numerical_gradient
+
+
+class TestGroupNorm:
+    def test_output_shape(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        out = gn(Tensor(rng.standard_normal((3, 4, 5, 5)).astype(np.float32)))
+        assert out.shape == (3, 4, 5, 5)
+
+    def test_divisibility_check(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 4)
+
+    def test_input_rank_check(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        with pytest.raises(ValueError):
+            gn(Tensor(np.zeros((3, 4), dtype=np.float32)))
+
+    def test_channel_count_check(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        with pytest.raises(ValueError):
+            gn(Tensor(np.zeros((1, 6, 2, 2), dtype=np.float32)))
+
+    def test_normalizes_within_groups(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        x = Tensor((rng.standard_normal((8, 4, 6, 6)) * 7 + 3).astype(np.float32))
+        out = gn(x).data
+        # Each (sample, group) slice is standardized.
+        grouped = out.reshape(8, 2, 2 * 6 * 6)
+        np.testing.assert_allclose(grouped.mean(axis=2), 0.0, atol=1e-4)
+        np.testing.assert_allclose(grouped.std(axis=2), 1.0, atol=1e-2)
+
+    def test_no_buffers(self):
+        gn = nn.GroupNorm(2, 4)
+        assert gn.buffers() == []
+
+    def test_independent_of_batch_composition(self, rng):
+        # Unlike batch norm, the output for one sample does not depend on
+        # which other samples share the batch.
+        gn = nn.GroupNorm(2, 4)
+        gn.eval()
+        x = rng.standard_normal((4, 4, 3, 3)).astype(np.float32)
+        full = gn(Tensor(x)).data
+        single = gn(Tensor(x[:1])).data
+        np.testing.assert_allclose(full[:1], single, rtol=1e-5)
+
+    def test_affine_params_trainable(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        x = Tensor(rng.standard_normal((2, 4, 3, 3)).astype(np.float32))
+        (gn(x) ** 2).sum().backward()
+        assert gn.weight.grad is not None
+        assert gn.bias.grad is not None
+
+    def test_input_gradient_numerical(self):
+        gn = nn.GroupNorm(2, 4)
+        x0 = np.random.default_rng(0).standard_normal((2, 4, 2, 2))
+
+        def loss(arr):
+            fresh = nn.GroupNorm(2, 4)
+            return (fresh(Tensor(arr, requires_grad=True)) ** 2).sum().item()
+
+        x = Tensor(x0, requires_grad=True)
+        (gn(x) ** 2).sum().backward()
+        np.testing.assert_allclose(
+            x.grad, numerical_gradient(loss, x0), rtol=1e-3, atol=1e-5
+        )
+
+
+class TestGroupNormResNet:
+    def test_group_variant_has_no_buffers(self, rng):
+        from repro.models import resnet8
+
+        model = resnet8(3, 10, norm="group", rng=rng)
+        assert len(model.buffers()) == 0
+        assert len(model.batch_norm_modules()) == 0
+
+    def test_invalid_norm_rejected(self, rng):
+        from repro.models.resnet import _make_norm
+
+        with pytest.raises(ValueError):
+            _make_norm("layer", 8)
+
+    def test_group_variant_trains(self, rng):
+        from repro.grad import functional as F
+        from repro.grad.optim import SGD
+        from repro.models import resnet8
+
+        model = resnet8(1, 4, norm="group", rng=rng)
+        x = Tensor(np.random.default_rng(0).standard_normal((8, 1, 8, 8)).astype(np.float32))
+        y = np.arange(8) % 4
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        first = None
+        for i in range(20):
+            opt.zero_grad()
+            loss = F.cross_entropy(model(x), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first

@@ -1,0 +1,107 @@
+"""Edge cases of the Module registry: reassignment, shared modules, nesting."""
+
+import numpy as np
+import pytest
+
+from repro.grad import Tensor, nn
+from repro.grad.nn.module import Module, Parameter
+
+
+class TestReassignment:
+    def test_parameter_replaced_by_module(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.slot = Parameter(np.zeros(2))
+
+        holder = Holder()
+        assert "slot" in holder._parameters
+        holder.slot = nn.Identity()
+        assert "slot" not in holder._parameters
+        assert "slot" in holder._modules
+
+    def test_module_replaced_by_parameter(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.slot = nn.Identity()
+
+        holder = Holder()
+        holder.slot = Parameter(np.zeros(2))
+        assert "slot" in holder._parameters
+        assert "slot" not in holder._modules
+
+    def test_plain_attribute_not_registered(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.name = "hello"
+                self.count = 3
+
+        holder = Holder()
+        assert holder._parameters == {}
+        assert holder._modules == {}
+
+
+class TestSharedModules:
+    def test_shared_submodule_parameters_deduplicated_by_identity(self):
+        shared = nn.Linear(2, 2, rng=np.random.default_rng(0))
+
+        class Twin(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = shared
+                self.b = shared
+
+            def forward(self, x):
+                return self.b(self.a(x))
+
+        twin = Twin()
+        params = twin.parameters()
+        # Both registry paths list the same underlying objects.
+        names = [n for n, _ in twin.named_parameters()]
+        assert names == ["a.weight", "a.bias", "b.weight", "b.bias"]
+        assert params[0] is params[2]
+
+    def test_gradients_accumulate_through_shared_module(self):
+        shared = nn.Linear(2, 2, bias=False, rng=np.random.default_rng(0))
+
+        class Twin(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = shared
+
+            def forward(self, x):
+                return self.a(self.a(x))
+
+        twin = Twin()
+        x = Tensor(np.ones((1, 2), dtype=np.float32))
+        twin(x).sum().backward()
+        # The shared weight received contributions from both applications.
+        assert shared.weight.grad is not None
+        assert np.abs(shared.weight.grad).sum() > 0
+
+
+class TestDeepNesting:
+    def test_three_level_names(self):
+        model = nn.Sequential(
+            nn.Sequential(nn.Linear(2, 2, rng=np.random.default_rng(0))),
+        )
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["0.0.weight", "0.0.bias"]
+
+    def test_state_dict_roundtrip_deep(self):
+        model = nn.Sequential(
+            nn.Sequential(nn.Linear(2, 3, rng=np.random.default_rng(0)), nn.ReLU()),
+            nn.Linear(3, 2, rng=np.random.default_rng(1)),
+        )
+        state = model.state_dict()
+        model[1].weight.data += 5
+        model.load_state_dict(state)
+        np.testing.assert_allclose(model[1].weight.data, state["1.weight"])
+
+    def test_num_parameters_counts_all_levels(self):
+        model = nn.Sequential(
+            nn.Sequential(nn.Linear(2, 3, rng=np.random.default_rng(0))),
+        )
+        assert model.num_parameters() == 2 * 3 + 3

@@ -1,0 +1,215 @@
+"""Tests for the model zoo: shapes, gradients, determinism, registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DatasetInfo
+from repro.grad import Tensor, functional as F
+from repro.models import (
+    LogisticRegression,
+    PaperCNN,
+    TabularMLP,
+    build_model,
+    default_model_for,
+    resnet8,
+    resnet20,
+    vgg9,
+)
+
+
+def image_info(channels=1, size=16, classes=10):
+    return DatasetInfo(
+        name="img",
+        modality="image",
+        num_classes=classes,
+        input_shape=(channels, size, size),
+        num_train=10,
+        num_test=10,
+    )
+
+
+def tabular_info(features=20, classes=2):
+    return DatasetInfo(
+        name="tab",
+        modality="tabular",
+        num_classes=classes,
+        input_shape=(features,),
+        num_train=10,
+        num_test=10,
+    )
+
+
+def batch(shape, rng):
+    return Tensor(rng.standard_normal(shape).astype(np.float32))
+
+
+class TestPaperCNN:
+    def test_output_shape(self, rng):
+        model = PaperCNN(1, 16, 10, rng=rng)
+        out = model(batch((4, 1, 16, 16), rng))
+        assert out.shape == (4, 10)
+
+    def test_three_channel_input(self, rng):
+        model = PaperCNN(3, 16, 10, rng=rng)
+        assert model(batch((2, 3, 16, 16), rng)).shape == (2, 10)
+
+    def test_28px_like_paper(self, rng):
+        model = PaperCNN(1, 28, 10, rng=rng)
+        assert model(batch((2, 1, 28, 28), rng)).shape == (2, 10)
+
+    def test_size_must_divide_by_4(self, rng):
+        with pytest.raises(ValueError):
+            PaperCNN(1, 15, rng=rng)
+
+    def test_backward_reaches_all_params(self, rng):
+        model = PaperCNN(1, 16, 10, rng=rng)
+        loss = F.cross_entropy(model(batch((4, 1, 16, 16), rng)), np.arange(4))
+        loss.backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_architecture_matches_paper(self, rng):
+        # 6 and 16 conv channels, 120 and 84 FC units.
+        model = PaperCNN(1, 16, 10, rng=rng)
+        params = dict(model.named_parameters())
+        assert params["features.0.weight"].shape == (6, 1, 5, 5)
+        assert params["features.3.weight"].shape == (16, 6, 5, 5)
+        assert params["classifier.1.weight"].shape == (120, 16 * 4 * 4)
+        assert params["classifier.3.weight"].shape == (84, 120)
+        assert params["classifier.5.weight"].shape == (10, 84)
+
+
+class TestTabularMLP:
+    def test_output_shape(self, rng):
+        model = TabularMLP(30, 2, rng=rng)
+        assert model(batch((5, 30), rng)).shape == (5, 2)
+
+    def test_hidden_sizes_match_paper(self, rng):
+        model = TabularMLP(123, 2, rng=rng)
+        shapes = [p.data.shape for _, p in model.named_parameters() if "weight" in _]
+        assert shapes == [(32, 123), (16, 32), (8, 16), (2, 8)]
+
+    def test_flattens_higher_dims(self, rng):
+        model = TabularMLP(16, 2, rng=rng)
+        assert model(batch((3, 4, 2, 2), rng)).shape == (3, 2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            TabularMLP(0, 2, rng=rng)
+        with pytest.raises(ValueError):
+            TabularMLP(5, 2, hidden=(), rng=rng)
+
+    def test_logistic_regression(self, rng):
+        model = LogisticRegression(10, 3, rng=rng)
+        assert model(batch((4, 10), rng)).shape == (4, 3)
+
+
+class TestVGG9:
+    def test_output_shape(self, rng):
+        model = vgg9(3, 16, 10, width=0.25, rng=rng)
+        assert model(batch((2, 3, 16, 16), rng)).shape == (2, 10)
+
+    def test_has_nine_weight_layers(self, rng):
+        model = vgg9(3, 16, 10, width=0.25, rng=rng)
+        weight_layers = [n for n, _ in model.named_parameters() if n.endswith(".weight")]
+        assert len(weight_layers) == 9  # 6 conv + 3 fc
+
+    def test_no_batchnorm(self, rng):
+        from repro.grad.nn.layers import _BatchNorm
+
+        model = vgg9(3, 16, 10, width=0.25, rng=rng)
+        assert not any(isinstance(m, _BatchNorm) for m in model.modules())
+
+    def test_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            vgg9(3, 12, 10, rng=rng)  # 12 not divisible by 8
+
+    def test_width_scales_parameters(self, rng):
+        small = vgg9(3, 16, 10, width=0.25, rng=np.random.default_rng(0))
+        big = vgg9(3, 16, 10, width=0.5, rng=np.random.default_rng(0))
+        assert big.num_parameters() > 2 * small.num_parameters()
+
+    def test_backward(self, rng):
+        model = vgg9(1, 16, 10, width=0.125, rng=rng)
+        F.cross_entropy(model(batch((2, 1, 16, 16), rng)), np.array([0, 1])).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestResNet:
+    def test_resnet8_shape(self, rng):
+        model = resnet8(3, 10, rng=rng)
+        assert model(batch((2, 3, 16, 16), rng)).shape == (2, 10)
+
+    def test_resnet20_shape(self, rng):
+        model = resnet20(1, 10, rng=rng)
+        assert model(batch((2, 1, 16, 16), rng)).shape == (2, 10)
+
+    def test_contains_batchnorm(self, rng):
+        model = resnet8(3, 10, rng=rng)
+        assert len(model.batch_norm_modules()) > 0
+
+    def test_bn_buffers_in_state_dict(self, rng):
+        model = resnet8(3, 10, rng=rng)
+        state = model.state_dict()
+        assert any("running_mean" in key for key in state)
+
+    def test_backward(self, rng):
+        model = resnet8(3, 10, rng=rng)
+        F.cross_entropy(model(batch((2, 3, 16, 16), rng)), np.array([0, 1])).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        model = resnet8(3, 10, rng=rng)
+        x = batch((4, 3, 16, 16), rng)
+        model(x)  # populate running stats
+        model.eval()
+        single = model(batch((1, 3, 16, 16), rng))  # batch of 1 needs them
+        assert np.isfinite(single.data).all()
+
+    def test_resnet50_structure(self, rng):
+        from repro.models import resnet50
+
+        model = resnet50(3, 10, base_width=4, rng=rng)  # narrow for test speed
+        # 16 bottleneck blocks x 3 convs + stem + head + 16 BN triples...
+        conv_weights = [
+            n for n, _ in model.named_parameters()
+            if "conv" in n or "shortcut.0" in n or n == "stem.weight"
+        ]
+        # 3+4+6+3 = 16 blocks x 3 convs = 48, + 4 projection shortcuts + stem = 53
+        assert len(conv_weights) == 53
+
+
+class TestRegistry:
+    def test_default_model_choice(self):
+        assert default_model_for(image_info()) == "cnn"
+        assert default_model_for(tabular_info()) == "mlp"
+
+    def test_build_default(self):
+        model = build_model("default", image_info(), seed=0)
+        assert isinstance(model, PaperCNN)
+
+    def test_build_mlp_from_info(self):
+        model = build_model("mlp", tabular_info(features=54), seed=0)
+        assert model.in_features == 54
+
+    def test_build_is_deterministic(self):
+        a = build_model("cnn", image_info(), seed=3)
+        b = build_model("cnn", image_info(), seed=3)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_different_seeds_differ(self):
+        a = build_model("cnn", image_info(), seed=3)
+        b = build_model("cnn", image_info(), seed=4)
+        assert not np.array_equal(a.parameters()[0].data, b.parameters()[0].data)
+
+    def test_image_model_on_tabular_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("cnn", tabular_info())
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("transformer", image_info())
+
+    def test_mlp_on_image_flattens(self):
+        model = build_model("mlp", image_info(channels=1, size=16))
+        assert model.in_features == 256

@@ -1,0 +1,195 @@
+"""Tests for the Partition result type, stats and the strategy parser."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.partition import Partition, parse_strategy, stats
+from repro.partition import (
+    DistributionBasedLabelSkew,
+    FCubePartitioner,
+    HomogeneousPartitioner,
+    NoiseBasedFeatureSkew,
+    QuantityBasedLabelSkew,
+    QuantitySkew,
+    RealWorldFeatureSkew,
+)
+
+
+class TestPartition:
+    def test_sizes(self):
+        part = Partition(indices=[np.array([0, 1]), np.array([2])])
+        np.testing.assert_array_equal(part.sizes, [2, 1])
+        assert part.num_parties == 2
+
+    def test_validate_accepts_exact_cover(self):
+        part = Partition(indices=[np.array([0, 1]), np.array([2, 3])])
+        part.validate(4)
+
+    def test_validate_detects_overlap(self):
+        # Index 1 duplicated, index 3 missing: count matches but cover is wrong.
+        part = Partition(indices=[np.array([0, 1]), np.array([1, 2])])
+        with pytest.raises(ValueError, match="more than once"):
+            part.validate(4)
+
+    def test_validate_detects_gap(self):
+        part = Partition(indices=[np.array([0]), np.array([2])])
+        with pytest.raises(ValueError, match="covers"):
+            part.validate(4)
+
+    def test_validate_detects_out_of_range(self):
+        part = Partition(indices=[np.array([0, 1]), np.array([2, 7])])
+        with pytest.raises(ValueError, match="out-of-range"):
+            part.validate(4)
+
+    def test_validate_counts_unassigned(self):
+        part = Partition(
+            indices=[np.array([0]), np.array([2])], unassigned=np.array([1, 3])
+        )
+        part.validate(4)
+
+    def test_counts_matrix(self):
+        labels = np.array([0, 0, 1, 2])
+        part = Partition(indices=[np.array([0, 2]), np.array([1, 3])])
+        matrix = part.counts_matrix(labels, 3)
+        np.testing.assert_array_equal(matrix, [[1, 1, 0], [1, 0, 1]])
+
+    def test_transform_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(
+                indices=[np.array([0]), np.array([1])],
+                feature_transforms=[lambda x: x],
+            )
+
+    def test_subsets_without_transforms_are_views(self, rng):
+        ds = ArrayDataset(rng.standard_normal((6, 2)), np.zeros(6, dtype=np.int64))
+        part = Partition(indices=[np.array([0, 1, 2]), np.array([3, 4, 5])])
+        parts = part.subsets(ds)
+        assert len(parts) == 2
+        np.testing.assert_array_equal(parts[1].features, ds.features[3:])
+
+    def test_subsets_apply_transforms(self, rng):
+        ds = ArrayDataset(
+            np.ones((4, 2), dtype=np.float32), np.zeros(4, dtype=np.int64)
+        )
+        part = Partition(
+            indices=[np.array([0, 1]), np.array([2, 3])],
+            feature_transforms=[None, lambda f: f * 3],
+        )
+        parts = part.subsets(ds)
+        np.testing.assert_allclose(parts[0].features, 1.0)
+        np.testing.assert_allclose(parts[1].features, 3.0)
+
+
+class TestStats:
+    def test_kl_zero_for_identical(self):
+        p = np.array([0.25, 0.75])
+        assert stats.kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_positive_for_different(self):
+        assert stats.kl_divergence([0.9, 0.1], [0.1, 0.9]) > 0.5
+
+    def test_label_skew_zero_for_perfect_split(self):
+        labels = np.array([0, 1, 0, 1])
+        part = Partition(indices=[np.array([0, 1]), np.array([2, 3])])
+        assert stats.label_skew_index(part, labels, 2) == pytest.approx(0.0, abs=1e-6)
+
+    def test_label_skew_high_for_single_label_parties(self):
+        labels = np.array([0, 0, 1, 1])
+        part = Partition(indices=[np.array([0, 1]), np.array([2, 3])])
+        assert stats.label_skew_index(part, labels, 2) > 0.5
+
+    def test_quantity_skew_zero_for_equal(self):
+        part = Partition(indices=[np.arange(5), np.arange(5, 10)])
+        assert stats.quantity_skew_index(part) == 0.0
+
+    def test_quantity_skew_positive_for_unequal(self):
+        part = Partition(indices=[np.arange(9), np.array([9])])
+        assert stats.quantity_skew_index(part) > 0.5
+
+    def test_effective_classes(self):
+        labels = np.array([0, 1, 2, 2])
+        part = Partition(indices=[np.array([0, 1]), np.array([2, 3])])
+        np.testing.assert_array_equal(
+            stats.effective_classes_per_party(part, labels, 3), [2, 1]
+        )
+
+    def test_report_text_renders(self):
+        labels = np.array([0, 1, 0, 1])
+        part = Partition(
+            indices=[np.array([0, 1]), np.array([2, 3])], strategy="test"
+        )
+        rep = stats.report(part, labels, 2)
+        text = rep.to_text()
+        assert "strategy: test" in text
+        assert "party" in text
+
+    def test_report_counts_unassigned(self):
+        labels = np.array([0, 1, 0, 1])
+        part = Partition(indices=[np.array([0])], unassigned=np.array([1, 2, 3]))
+        rep = stats.report(part, labels, 2)
+        assert rep.num_unassigned == 3
+
+
+class TestParseStrategy:
+    @pytest.mark.parametrize(
+        "spec,cls",
+        [
+            ("iid", HomogeneousPartitioner),
+            ("homogeneous", HomogeneousPartitioner),
+            ("HOMO", HomogeneousPartitioner),
+            ("#C=2", QuantityBasedLabelSkew),
+            ("label3", QuantityBasedLabelSkew),
+            ("dir(0.5)", DistributionBasedLabelSkew),
+            ("labeldir(0.1)", DistributionBasedLabelSkew),
+            ("gau(0.1)", NoiseBasedFeatureSkew),
+            ("noise(0.5)", NoiseBasedFeatureSkew),
+            ("fcube", FCubePartitioner),
+            ("real-world", RealWorldFeatureSkew),
+            ("realworld", RealWorldFeatureSkew),
+            ("quantity(0.5)", QuantitySkew),
+            ("q~dir(0.5)", QuantitySkew),
+        ],
+    )
+    def test_parses(self, spec, cls):
+        assert isinstance(parse_strategy(spec), cls)
+
+    def test_parameters_extracted(self):
+        assert parse_strategy("#C=3").labels_per_party == 3
+        assert parse_strategy("dir(0.25)").beta == 0.25
+        assert parse_strategy("gau(0.1)").sigma == 0.1
+        assert parse_strategy("quantity(2)").beta == 2.0
+
+    def test_whitespace_tolerated(self):
+        assert isinstance(parse_strategy(" #C = 2 "), QuantityBasedLabelSkew)
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_strategy("bogus(1)")
+
+    def test_repr_of_all_strategies(self):
+        # Smoke-check that reprs are informative (used in reports).
+        for spec in ("iid", "#C=2", "dir(0.5)", "gau(0.1)", "fcube", "realworld", "quantity(0.5)"):
+            assert type(parse_strategy(spec)).__name__ in repr(parse_strategy(spec))
+
+
+class TestRenderHeatmap:
+    def test_contains_counts(self):
+        counts = np.array([[10, 0], [0, 20]])
+        text = stats.render_heatmap(counts)
+        assert "10" in text and "20" in text
+        assert "party\\class" in text
+
+    def test_shading_scales_with_count(self):
+        counts = np.array([[0, 100]])
+        text = stats.render_heatmap(counts)
+        assert "@" in text  # peak cell fully shaded
+        assert " " in text
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            stats.render_heatmap(np.zeros(5))
+
+    def test_row_count(self):
+        counts = np.zeros((4, 3), dtype=int)
+        assert len(stats.render_heatmap(counts).splitlines()) == 5

@@ -1,0 +1,147 @@
+"""Hypothesis property tests: partition invariants hold for arbitrary inputs.
+
+Invariants checked across randomly drawn dataset sizes, class counts, party
+counts, seeds and strategy parameters:
+
+1. assigned ∪ unassigned is exactly the dataset (no loss, no duplication);
+2. parties are pairwise disjoint;
+3. strategy-specific structure (#C=k label caps, FCUBE label balance, ...).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import ArrayDataset
+from repro.partition import (
+    DistributionBasedLabelSkew,
+    HomogeneousPartitioner,
+    NoiseBasedFeatureSkew,
+    QuantityBasedLabelSkew,
+    QuantitySkew,
+)
+
+MAX_EXAMPLES = 40
+
+
+def build_dataset(n, num_classes, seed):
+    rng = np.random.default_rng(seed)
+    features = rng.standard_normal((n, 3)).astype(np.float32)
+    labels = rng.integers(0, num_classes, size=n).astype(np.int64)
+    # Guarantee every class is present so #C=k partitioners are exercised.
+    labels[:num_classes] = np.arange(num_classes)
+    return ArrayDataset(features, labels)
+
+
+dataset_params = st.tuples(
+    st.integers(min_value=50, max_value=400),  # n
+    st.integers(min_value=2, max_value=10),  # num_classes
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(params=dataset_params, num_parties=st.integers(2, 10), seed=st.integers(0, 999))
+def test_homogeneous_invariants(params, num_parties, seed):
+    dataset = build_dataset(*params)
+    part = HomogeneousPartitioner().partition(
+        dataset, num_parties, np.random.default_rng(seed)
+    )
+    part.validate(len(dataset))
+    assert part.unassigned.size == 0
+    assert part.sizes.max() - part.sizes.min() <= 1
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    params=dataset_params,
+    num_parties=st.integers(2, 10),
+    k=st.integers(1, 3),
+    seed=st.integers(0, 999),
+)
+def test_quantity_label_skew_invariants(params, num_parties, k, seed):
+    dataset = build_dataset(*params)
+    num_classes = int(dataset.labels.max()) + 1
+    if k > num_classes:
+        k = num_classes
+    part = QuantityBasedLabelSkew(k).partition(
+        dataset, num_parties, np.random.default_rng(seed)
+    )
+    part.validate(len(dataset))
+    counts = part.counts_matrix(dataset.labels, num_classes)
+    # Structure: no party holds more than k distinct labels.
+    assert ((counts > 0).sum(axis=1) <= k).all()
+    # Coverage: when parties >= classes, nothing is left unassigned.
+    if num_parties >= num_classes:
+        assert part.unassigned.size == 0
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    params=dataset_params,
+    num_parties=st.integers(2, 8),
+    beta=st.floats(min_value=0.05, max_value=50.0),
+    seed=st.integers(0, 999),
+)
+def test_dirichlet_label_skew_invariants(params, num_parties, beta, seed):
+    dataset = build_dataset(*params)
+    part = DistributionBasedLabelSkew(beta, min_size=0).partition(
+        dataset, num_parties, np.random.default_rng(seed)
+    )
+    part.validate(len(dataset))
+    assert part.unassigned.size == 0
+    assert part.num_parties == num_parties
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    params=dataset_params,
+    num_parties=st.integers(2, 8),
+    beta=st.floats(min_value=0.05, max_value=50.0),
+    seed=st.integers(0, 999),
+)
+def test_quantity_skew_invariants(params, num_parties, beta, seed):
+    dataset = build_dataset(*params)
+    part = QuantitySkew(beta, min_size=0).partition(
+        dataset, num_parties, np.random.default_rng(seed)
+    )
+    part.validate(len(dataset))
+    assert part.unassigned.size == 0
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    params=dataset_params,
+    num_parties=st.integers(2, 8),
+    sigma=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 999),
+)
+def test_noise_skew_invariants(params, num_parties, sigma, seed):
+    dataset = build_dataset(*params)
+    part = NoiseBasedFeatureSkew(sigma).partition(
+        dataset, num_parties, np.random.default_rng(seed)
+    )
+    part.validate(len(dataset))
+    parts = part.subsets(dataset)
+    # Party 0's features are untouched regardless of sigma.
+    np.testing.assert_array_equal(parts[0].features, dataset.features[part.indices[0]])
+    # Transformed features keep shape and dtype.
+    assert parts[-1].features.shape == dataset.features[part.indices[-1]].shape
+    assert parts[-1].features.dtype == np.float32
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    params=dataset_params,
+    num_parties=st.integers(2, 10),
+    seed=st.integers(0, 999),
+)
+def test_partition_determinism(params, num_parties, seed):
+    dataset = build_dataset(*params)
+    a = DistributionBasedLabelSkew(0.5, min_size=0).partition(
+        dataset, num_parties, np.random.default_rng(seed)
+    )
+    b = DistributionBasedLabelSkew(0.5, min_size=0).partition(
+        dataset, num_parties, np.random.default_rng(seed)
+    )
+    for ia, ib in zip(a.indices, b.indices):
+        np.testing.assert_array_equal(ia, ib)

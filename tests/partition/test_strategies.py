@@ -1,0 +1,279 @@
+"""Unit tests for each partitioning strategy."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, load_dataset
+from repro.partition import (
+    DistributionBasedLabelSkew,
+    FCubePartitioner,
+    HomogeneousPartitioner,
+    NoiseBasedFeatureSkew,
+    QuantityBasedLabelSkew,
+    QuantitySkew,
+    RealWorldFeatureSkew,
+)
+
+
+def make_dataset(n=300, num_classes=10, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.standard_normal((n, 5)).astype(np.float32)
+    labels = (np.arange(n) % num_classes).astype(np.int64)
+    rng.shuffle(labels)
+    return ArrayDataset(features, labels)
+
+
+@pytest.fixture
+def dataset():
+    return make_dataset()
+
+
+class TestHomogeneous:
+    def test_covers_everything(self, dataset, rng):
+        part = HomogeneousPartitioner().partition(dataset, 10, rng)
+        part.validate(len(dataset))
+        assert part.unassigned.size == 0
+
+    def test_sizes_near_equal(self, dataset, rng):
+        part = HomogeneousPartitioner().partition(dataset, 7, rng)
+        assert part.sizes.max() - part.sizes.min() <= 1
+
+    def test_label_distribution_near_global(self, dataset, rng):
+        part = HomogeneousPartitioner().partition(dataset, 3, rng)
+        counts = part.counts_matrix(dataset.labels, 10)
+        # Each party should hold roughly 10 of each class (100 samples / 10).
+        assert (counts > 0).all()
+
+    def test_too_many_parties(self, rng):
+        small = make_dataset(n=5)
+        with pytest.raises(ValueError):
+            HomogeneousPartitioner().partition(small, 10, rng)
+
+    def test_invalid_party_count(self, dataset, rng):
+        with pytest.raises(ValueError):
+            HomogeneousPartitioner().partition(dataset, 0, rng)
+
+
+class TestQuantityBasedLabelSkew:
+    def test_each_party_has_exactly_k_labels(self, dataset, rng):
+        for k in (1, 2, 3):
+            part = QuantityBasedLabelSkew(k).partition(dataset, 10, rng)
+            counts = part.counts_matrix(dataset.labels, 10)
+            assert ((counts > 0).sum(axis=1) <= k).all()
+            # With round-robin first labels and N == K every party gets >= 1.
+            assert ((counts > 0).sum(axis=1) >= 1).all()
+
+    def test_k1_gives_single_label_parties(self, dataset, rng):
+        part = QuantityBasedLabelSkew(1).partition(dataset, 10, rng)
+        counts = part.counts_matrix(dataset.labels, 10)
+        for row in counts:
+            assert (row > 0).sum() == 1
+
+    def test_k1_with_n_equals_k_covers_all(self, dataset, rng):
+        part = QuantityBasedLabelSkew(1).partition(dataset, 10, rng)
+        part.validate(len(dataset))
+        assert part.unassigned.size == 0
+
+    def test_unowned_labels_go_unassigned(self, rng):
+        # 3 parties, 10 classes, k=1: labels 3..9 have no owner.
+        part = QuantityBasedLabelSkew(1).partition(make_dataset(), 3, rng)
+        part.validate(300)
+        assert part.unassigned.size == 300 - sum(part.sizes)
+        assert part.unassigned.size > 0
+
+    def test_k_above_num_classes_rejected(self, dataset, rng):
+        with pytest.raises(ValueError):
+            QuantityBasedLabelSkew(11).partition(dataset, 10, rng)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            QuantityBasedLabelSkew(0)
+
+    def test_no_overlap_between_parties(self, dataset, rng):
+        part = QuantityBasedLabelSkew(2).partition(dataset, 10, rng)
+        part.validate(len(dataset))  # validate() checks disjointness
+
+    def test_strategy_tag(self, dataset, rng):
+        part = QuantityBasedLabelSkew(2).partition(dataset, 10, rng)
+        assert part.strategy == "#C=2"
+
+
+class TestDistributionBasedLabelSkew:
+    def test_covers_everything(self, dataset, rng):
+        part = DistributionBasedLabelSkew(0.5).partition(dataset, 10, rng)
+        part.validate(len(dataset))
+        assert part.unassigned.size == 0
+
+    def test_smaller_beta_more_skew(self, rng):
+        from repro.partition.stats import label_skew_index
+
+        big = make_dataset(n=3000)
+        skews = {}
+        for beta in (100.0, 0.1):
+            part = DistributionBasedLabelSkew(beta).partition(
+                big, 10, np.random.default_rng(0)
+            )
+            skews[beta] = label_skew_index(part, big.labels, 10)
+        assert skews[0.1] > 3 * skews[100.0]
+
+    def test_min_size_enforced(self, rng):
+        part = DistributionBasedLabelSkew(0.5, min_size=5).partition(
+            make_dataset(n=1000), 10, rng
+        )
+        assert part.sizes.min() >= 5
+
+    def test_min_size_unreachable_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            DistributionBasedLabelSkew(0.5, min_size=10_000, max_retries=3).partition(
+                make_dataset(n=100), 10, rng
+            )
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            DistributionBasedLabelSkew(0.0)
+        with pytest.raises(ValueError):
+            DistributionBasedLabelSkew(0.5, min_size=-1)
+
+    def test_deterministic_given_rng(self, dataset):
+        a = DistributionBasedLabelSkew(0.5).partition(
+            dataset, 5, np.random.default_rng(9)
+        )
+        b = DistributionBasedLabelSkew(0.5).partition(
+            dataset, 5, np.random.default_rng(9)
+        )
+        for ia, ib in zip(a.indices, b.indices):
+            np.testing.assert_array_equal(ia, ib)
+
+
+class TestNoiseBasedFeatureSkew:
+    def test_split_is_even(self, dataset, rng):
+        part = NoiseBasedFeatureSkew(0.1).partition(dataset, 10, rng)
+        part.validate(len(dataset))
+        assert part.sizes.max() - part.sizes.min() <= 1
+
+    def test_transforms_present(self, dataset, rng):
+        part = NoiseBasedFeatureSkew(0.1).partition(dataset, 10, rng)
+        assert part.feature_transforms is not None
+        assert len(part.feature_transforms) == 10
+
+    def test_party_zero_clean_last_party_noisy(self, dataset, rng):
+        part = NoiseBasedFeatureSkew(0.5).partition(dataset, 10, rng)
+        parts = part.subsets(dataset)
+        clean = parts[0].features
+        np.testing.assert_array_equal(clean, dataset.features[part.indices[0]])
+        noisy = parts[9].features
+        residual = noisy - dataset.features[part.indices[9]]
+        assert residual.var() == pytest.approx(0.5 * 9 / 10, rel=0.2)
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            NoiseBasedFeatureSkew(-0.1)
+
+    def test_transform_reproducible(self, dataset):
+        a = NoiseBasedFeatureSkew(0.3).partition(dataset, 4, np.random.default_rng(2))
+        b = NoiseBasedFeatureSkew(0.3).partition(dataset, 4, np.random.default_rng(2))
+        fa = a.subsets(dataset)[3].features
+        fb = b.subsets(dataset)[3].features
+        np.testing.assert_array_equal(fa, fb)
+
+
+class TestFCubePartitioner:
+    def test_four_parties_cover_all(self, rng):
+        train, _, _ = load_dataset("fcube", seed=0)
+        part = FCubePartitioner().partition(train, 4, rng)
+        part.validate(len(train))
+
+    def test_labels_balanced_per_party(self, rng):
+        train, _, _ = load_dataset("fcube", seed=0)
+        part = FCubePartitioner().partition(train, 4, rng)
+        counts = part.counts_matrix(train.labels, 2)
+        ratios = counts[:, 0] / counts.sum(axis=1)
+        assert (np.abs(ratios - 0.5) < 0.1).all()
+
+    def test_feature_supports_differ(self, rng):
+        # Each party holds two origin-symmetric octants, so first moments
+        # vanish but the sign pattern of E[x1*x2], E[x1*x3] identifies the
+        # pair: (+,+), (+,-), (-,+), (-,-) across the four parties.
+        train, _, _ = load_dataset("fcube", seed=0)
+        part = FCubePartitioner().partition(train, 4, rng)
+        patterns = set()
+        for idx in part.indices:
+            f = train.features[idx]
+            m12 = float((f[:, 0] * f[:, 1]).mean())
+            m13 = float((f[:, 0] * f[:, 2]).mean())
+            assert abs(m12) > 0.05 and abs(m13) > 0.05
+            patterns.add((m12 > 0, m13 > 0))
+        assert len(patterns) == 4
+
+    def test_too_many_parties_rejected(self, rng):
+        train, _, _ = load_dataset("fcube", seed=0)
+        with pytest.raises(ValueError):
+            FCubePartitioner().partition(train, 5, rng)
+
+    def test_two_parties_allowed(self, rng):
+        train, _, _ = load_dataset("fcube", seed=0)
+        part = FCubePartitioner().partition(train, 2, rng)
+        part.validate(len(train))
+
+    def test_default_party_count(self):
+        assert FCubePartitioner().default_num_parties == 4
+
+
+class TestRealWorldFeatureSkew:
+    def test_partitions_by_writer(self, rng):
+        train, _, _ = load_dataset("femnist", n_train=400, n_test=10, num_writers=20)
+        part = RealWorldFeatureSkew().partition(train, 10, rng)
+        part.validate(len(train))
+        # No writer may span two parties.
+        seen = {}
+        for party, idx in enumerate(part.indices):
+            for writer in np.unique(train.groups[idx]):
+                assert seen.setdefault(writer, party) == party
+
+    def test_requires_groups(self, dataset, rng):
+        with pytest.raises(ValueError):
+            RealWorldFeatureSkew().partition(dataset, 4, rng)
+
+    def test_more_parties_than_writers_rejected(self, rng):
+        train, _, _ = load_dataset("femnist", n_train=100, n_test=10, num_writers=4)
+        with pytest.raises(ValueError):
+            RealWorldFeatureSkew().partition(train, 10, rng)
+
+
+class TestQuantitySkew:
+    def test_covers_everything(self, dataset, rng):
+        part = QuantitySkew(0.5).partition(dataset, 10, rng)
+        part.validate(len(dataset))
+
+    def test_sizes_unequal_at_low_beta(self):
+        from repro.partition.stats import quantity_skew_index
+
+        big = make_dataset(n=5000)
+        low = QuantitySkew(0.1, min_size=0).partition(big, 10, np.random.default_rng(0))
+        high = QuantitySkew(100.0, min_size=0).partition(big, 10, np.random.default_rng(0))
+        assert quantity_skew_index(low) > 5 * quantity_skew_index(high)
+
+    def test_label_distribution_stays_global(self, rng):
+        big = make_dataset(n=5000)
+        part = QuantitySkew(0.5, min_size=200).partition(big, 5, rng)
+        counts = part.counts_matrix(big.labels, 10)
+        fractions = counts / counts.sum(axis=1, keepdims=True)
+        # Every party's label distribution is close to uniform (global);
+        # tolerance covers sampling noise for the smallest (200-sample) party.
+        assert np.abs(fractions - 0.1).max() < 0.08
+
+    def test_min_size(self, rng):
+        part = QuantitySkew(0.5, min_size=10).partition(make_dataset(n=1000), 8, rng)
+        assert part.sizes.min() >= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantitySkew(-1.0)
+        with pytest.raises(ValueError):
+            QuantitySkew(1.0, min_size=-2)
+
+    def test_unreachable_min_size(self, rng):
+        with pytest.raises(RuntimeError):
+            QuantitySkew(0.05, min_size=40, max_retries=2).partition(
+                make_dataset(n=200), 10, rng
+            )

@@ -1,0 +1,83 @@
+"""Meta-tests on the public API surface: imports, exports, documentation."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.grad",
+    "repro.grad.nn",
+    "repro.grad.optim",
+    "repro.grad.functional",
+    "repro.grad.init",
+    "repro.grad.serialize",
+    "repro.data",
+    "repro.data.synthetic",
+    "repro.data.transforms",
+    "repro.partition",
+    "repro.partition.stats",
+    "repro.models",
+    "repro.federated",
+    "repro.federated.privacy",
+    "repro.federated.systems",
+    "repro.metrics",
+    "repro.experiments",
+    "repro.experiments.table3",
+    "repro.experiments.leaderboard",
+    "repro.experiments.store",
+    "repro.experiments.plotting",
+    "repro.experiments.centralized",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_imports_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in PUBLIC_MODULES if hasattr(importlib.import_module(n), "__all__")],
+)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_public_classes_documented():
+    undocumented = []
+    for name in PUBLIC_MODULES:
+        module = importlib.import_module(name)
+        for attr_name in getattr(module, "__all__", []):
+            attr = getattr(module, attr_name)
+            if inspect.isclass(attr) or inspect.isfunction(attr):
+                if attr.__module__.startswith("repro") and not attr.__doc__:
+                    undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+def test_top_level_quickstart_symbols():
+    import repro
+
+    assert callable(repro.run_federated_experiment)
+    assert repro.__version__
+
+
+def test_no_circular_import_order_dependence():
+    # Importing the deepest federated module first must not break.
+    import importlib
+    import sys
+
+    saved = {k: v for k, v in sys.modules.items() if k.startswith("repro")}
+    for k in list(saved):
+        del sys.modules[k]
+    try:
+        importlib.import_module("repro.federated.algorithms.scaffold")
+        importlib.import_module("repro")
+    finally:
+        sys.modules.update(saved)
