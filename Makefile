@@ -1,0 +1,14 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Skip the fork-based parallel-executor tests (slowest part of the suite).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not parallel"
+
+bench:
+	$(PYTHON) -m repro.experiments.bench --output BENCH_core.json

@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Thin launcher for the micro-benchmark suite.
+
+Equivalent to ``python -m repro.experiments.bench`` (or ``make bench``);
+kept here so the benchmarks are discoverable next to the repo root.
+Writes ``BENCH_core.json`` unless ``--output`` says otherwise.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -90,6 +90,14 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--sample", type=float, default=1.0, help="party fraction per round")
     parser.add_argument(
+        "--num-workers", type=int, default=0,
+        help="worker processes for client training (0 = serial)",
+    )
+    parser.add_argument(
+        "--executor", default="auto", choices=("auto", "serial", "parallel"),
+        help="client-execution backend (results are identical either way)",
+    )
+    parser.add_argument(
         "--party-sampler", default="uniform", choices=("uniform", "stratified"),
         help="party sampling policy under partial participation",
     )
@@ -116,6 +124,8 @@ def _experiment_kwargs(args) -> dict:
         sample_fraction=args.sample,
         sampler=args.party_sampler,
         optimizer=args.optimizer,
+        executor=args.executor,
+        num_workers=args.num_workers,
         algorithm_kwargs=algorithm_kwargs,
     )
 

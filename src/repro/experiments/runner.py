@@ -95,6 +95,8 @@ def run_federated_experiment(
     sampler: str = "uniform",
     optimizer: str = "sgd",
     bn_policy: str = "average",
+    executor: str = "auto",
+    num_workers: int = 0,
     seed: int = 0,
     algorithm_kwargs: dict | None = None,
     dataset_kwargs: dict | None = None,
@@ -117,6 +119,10 @@ def run_federated_experiment(
         Defaults to the paper's 10 (4 for FCUBE).
     preset:
         Scale preset for sizes/rounds; individual overrides win.
+    executor / num_workers:
+        Client-execution backend (see :mod:`repro.federated.executor`).
+        ``num_workers >= 2`` trains sampled parties in parallel worker
+        processes; results are bitwise identical to serial execution.
     seed:
         Controls dataset generation, partition draw, model init, sampling
         and local shuffling — two runs with equal arguments are identical.
@@ -149,13 +155,15 @@ def run_federated_experiment(
         sampler=sampler,
         optimizer=optimizer,
         bn_policy=bn_policy,
+        executor=executor,
+        num_workers=num_workers,
         eval_every=eval_every,
         seed=seed + 41,
     )
     net = build_model(model, info, seed=seed + 53)
     algo = make_algorithm(algorithm, **(algorithm_kwargs or {}))
-    server = FederatedServer(net, algo, clients, config, test_dataset=test)
-    history = server.fit()
+    with FederatedServer(net, algo, clients, config, test_dataset=test) as server:
+        history = server.fit()
 
     return ExperimentOutcome(
         dataset=info.name,

@@ -27,6 +27,12 @@ from repro.federated.algorithms import (
     make_algorithm,
 )
 from repro.federated.evaluation import evaluate_accuracy, evaluate_per_party
+from repro.federated.executor import (
+    ClientExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.federated.privacy import DifferentialPrivacy, approximate_epsilon
 from repro.federated.systems import SystemModel
 from repro.federated.sampling import StratifiedSampler, sample_parties
@@ -49,6 +55,10 @@ __all__ = [
     "ALGORITHM_NAMES",
     "evaluate_accuracy",
     "evaluate_per_party",
+    "ClientExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
     "DifferentialPrivacy",
     "approximate_epsilon",
     "SystemModel",

@@ -1,11 +1,26 @@
 """Algorithm interface: how a round's local updates become a global model.
 
-The server drives the loop; an algorithm provides two hooks:
+The server drives the loop; an algorithm provides three hooks:
 
-- :meth:`FedAlgorithm.client_round` — run one party's local work given the
-  current global state, returning a :class:`ClientResult`;
+- :meth:`FedAlgorithm.broadcast_payload` — server-side extras shipped to
+  every sampled party at the start of a round (SCAFFOLD's global control
+  variate; empty for the FedAvg family);
+- :meth:`FedAlgorithm.local_update` — run one party's local work given the
+  current global state and the broadcast payload, returning a
+  :class:`ClientResult`.  **Purity contract** (what makes client rounds
+  safe to run in worker processes, see :mod:`repro.federated.executor`):
+  the hook must not mutate algorithm instance state or any client other
+  than the one it was given; its ``model`` argument is scratch workspace
+  only; persistent per-party state changes go into
+  ``ClientResult.client_state`` rather than directly into
+  ``client.state``.  Reading ``client.state`` and the immutable key
+  caches set up by :meth:`prepare` is fine.
 - :meth:`FedAlgorithm.aggregate` — fold the round's results into the next
-  global state.
+  global state (server side; may mutate server-held algorithm state).
+
+The server applies each result's ``client_state`` via :meth:`commit`, in
+participant order, before aggregating.  :meth:`client_round` bundles
+``local_update`` + ``commit`` for single-party use (tests, notebooks).
 
 Algorithms may keep server-side state (SCAFFOLD's global control variate,
 FedOpt's momentum buffers) as instance attributes, and per-party state in
@@ -39,6 +54,10 @@ class ClientResult:
     num_samples: int
     mean_loss: float
     payload: dict = field(default_factory=dict)  # algorithm-specific extras
+    #: persistent per-party state updates (SCAFFOLD's ``c_i``, retained BN
+    #: entries); the server folds these into ``client.state`` via
+    #: :meth:`FedAlgorithm.commit` so ``local_update`` stays pure.
+    client_state: dict = field(default_factory=dict)
 
 
 class FedAlgorithm:
@@ -69,6 +88,26 @@ class FedAlgorithm:
     # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------
+    def broadcast_payload(self) -> dict:
+        """Server-side extras shipped to every party this round."""
+        return {}
+
+    def local_update(
+        self,
+        model: Module,
+        global_state: dict[str, np.ndarray],
+        client: Client,
+        config: FederatedConfig,
+        payload: dict,
+    ) -> ClientResult:
+        """One party's local round — pure; see the module docstring."""
+        raise NotImplementedError
+
+    def commit(self, client: Client, result: ClientResult) -> None:
+        """Fold a result's persistent per-party state into the client."""
+        for key, value in result.client_state.items():
+            client.state[key] = value
+
     def client_round(
         self,
         model: Module,
@@ -76,7 +115,12 @@ class FedAlgorithm:
         client: Client,
         config: FederatedConfig,
     ) -> ClientResult:
-        raise NotImplementedError
+        """Convenience: ``local_update`` + ``commit`` for one party."""
+        result = self.local_update(
+            model, global_state, client, config, self.broadcast_payload()
+        )
+        self.commit(client, result)
+        return result
 
     def aggregate(
         self,
@@ -113,12 +157,19 @@ class FedAlgorithm:
                 state = merge_states(global_state, kept, self._bn_keys)
         model.load_state_dict(state)
 
-    def stash_local_buffers(self, client: Client, state: dict, config: FederatedConfig) -> None:
-        """Remember the party's post-training BN entries if keeping local."""
+    def local_bn_state(self, state: dict, config: FederatedConfig) -> dict:
+        """Per-party state entries keeping the post-training BN snapshot.
+
+        Returned (not written) so ``local_update`` stays pure; the server
+        commits it into ``client.state`` afterwards.
+        """
         if config.bn_policy == "local" and self._bn_keys:
-            client.state["bn_local"] = {
-                key: np.asarray(state[key]).copy() for key in self._bn_keys
+            return {
+                "bn_local": {
+                    key: np.asarray(state[key]).copy() for key in self._bn_keys
+                }
             }
+        return {}
 
     @property
     def param_keys(self) -> list[str]:

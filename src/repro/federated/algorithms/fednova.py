@@ -1,6 +1,8 @@
 """FedNova (Algorithm 1 with the orange line).
 
-Local training is plain FedAvg, but the server normalizes every party's
+Local training is plain FedAvg (the inherited pure
+:meth:`~repro.federated.algorithms.fedavg.FedAvg.local_update`, so FedNova
+parallelizes across workers unchanged), but the server normalizes every party's
 cumulative update by its local step count before averaging, then rescales
 by the weighted-average step count (Algorithm 1 line 10):
 

@@ -8,6 +8,9 @@ pseudo-gradient and fed to a server optimizer.
 Variants:
 - ``"sgdm"``  — FedAvgM: server momentum over the pseudo-gradient;
 - ``"adam"``  — FedAdam: Adam on the pseudo-gradient.
+
+Client rounds are FedAvg's pure ``local_update`` (parallel-executor safe);
+all of FedOpt's mutable state lives server-side in :meth:`aggregate`.
 """
 
 from __future__ import annotations

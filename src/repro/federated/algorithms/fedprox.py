@@ -31,12 +31,13 @@ class FedProx(FedAvg):
             raise ValueError(f"mu must be non-negative, got {mu}")
         self.mu = mu
 
-    def client_round(
+    def local_update(
         self,
         model: Module,
         global_state: dict[str, np.ndarray],
         client: Client,
         config: FederatedConfig,
+        payload: dict,
     ) -> ClientResult:
         self.load_global_into(model, global_state, client, config)
         # Anchor at the just-loaded global weights, in parameter order.
@@ -44,13 +45,13 @@ class FedProx(FedAvg):
         result = run_local_training(
             model, client, config, proximal_mu=self.mu, anchor=anchor
         )
-        self.stash_local_buffers(client, result.state, config)
         return ClientResult(
             client_id=client.client_id,
             state=result.state,
             num_steps=result.num_steps,
             num_samples=result.num_samples,
             mean_loss=result.mean_loss,
+            client_state=self.local_bn_state(result.state, config),
         )
 
     def __repr__(self) -> str:

@@ -61,21 +61,26 @@ class Scaffold(FedAlgorithm):
             raise RuntimeError("Scaffold.prepare() was not called")
         return self._server_c
 
-    def _client_control(self, client: Client) -> list[np.ndarray]:
-        if "scaffold_c" not in client.state:
-            client.state["scaffold_c"] = [np.zeros_like(c) for c in self.server_control]
-        return client.state["scaffold_c"]
+    def broadcast_payload(self) -> dict:
+        """Ship the global control variate ``c`` (Algorithm 2, line 17)."""
+        return {"server_control": self.server_control}
 
-    def client_round(
+    def local_update(
         self,
         model: Module,
         global_state: dict[str, np.ndarray],
         client: Client,
         config: FederatedConfig,
+        payload: dict,
     ) -> ClientResult:
         self.load_global_into(model, global_state, client, config)
-        c = self.server_control
-        c_i = self._client_control(client)
+        c = payload["server_control"]
+        # c_i defaults to zero for a party's first participation; the
+        # refreshed value is *returned* (client_state), not written here,
+        # so this hook stays pure for parallel execution.
+        c_i = client.state.get("scaffold_c")
+        if c_i is None:
+            c_i = [np.zeros_like(cg) for cg in c]
         global_params = [param.data.copy() for param in model.parameters()]
 
         # Line 20: step on grad - c_i + c, i.e. add (c - c_i) to every grad.
@@ -87,7 +92,6 @@ class Scaffold(FedAlgorithm):
             correction=correction,
             correction_mode=self.correction_mode,
         )
-        self.stash_local_buffers(client, result.state, config)
 
         # Line 23: refresh the local control variate.
         if self.option == 1:
@@ -110,7 +114,8 @@ class Scaffold(FedAlgorithm):
             ]
 
         delta_c = [new - old for new, old in zip(c_star, c_i)]
-        client.state["scaffold_c"] = c_star
+        client_state = {"scaffold_c": c_star}
+        client_state.update(self.local_bn_state(result.state, config))
 
         return ClientResult(
             client_id=client.client_id,
@@ -119,6 +124,7 @@ class Scaffold(FedAlgorithm):
             num_samples=result.num_samples,
             mean_loss=result.mean_loss,
             payload={"delta_c": delta_c},
+            client_state=client_state,
         )
 
     def round_payload_floats(self) -> tuple[int, int]:

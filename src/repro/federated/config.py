@@ -63,6 +63,18 @@ class FederatedConfig:
         ``"amsgrad"`` (options the NIID-Bench reference code exposes).
         SCAFFOLD requires ``"sgd"`` — its drift correction is defined on
         the SGD update rule.
+    executor:
+        Client-execution backend: ``"serial"`` (one process, the classic
+        loop), ``"parallel"`` (a fork-based worker pool; requires
+        ``num_workers >= 2``), or ``"auto"`` (parallel when
+        ``num_workers >= 2`` and the platform supports fork, else
+        serial).  Results are bitwise identical across backends; see
+        :mod:`repro.federated.executor`.
+    num_workers:
+        Worker processes for the parallel executor.  ``0`` (and ``1``)
+        mean single-process execution.  A good starting point is the
+        machine's physical core count, capped by the number of parties
+        sampled per round — extra workers only idle.
     """
 
     num_rounds: int = 50
@@ -80,6 +92,8 @@ class FederatedConfig:
     dp: "DifferentialPrivacy | None" = None
     sampler: str = "uniform"
     optimizer: str = "sgd"
+    executor: str = "auto"
+    num_workers: int = 0
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -111,4 +125,18 @@ class FederatedConfig:
             raise ValueError(
                 f"optimizer must be 'sgd', 'adam' or 'amsgrad', "
                 f"got {self.optimizer!r}"
+            )
+        if self.executor not in ("auto", "serial", "parallel"):
+            raise ValueError(
+                f"executor must be 'auto', 'serial' or 'parallel', "
+                f"got {self.executor!r}"
+            )
+        if self.num_workers < 0:
+            raise ValueError(
+                f"num_workers must be non-negative, got {self.num_workers}"
+            )
+        if self.executor == "parallel" and self.num_workers < 2:
+            raise ValueError(
+                "executor='parallel' needs num_workers >= 2; "
+                "use executor='serial' (or 'auto') for single-process runs"
             )

@@ -1,0 +1,252 @@
+"""Pluggable client-execution backends for the federated round loop.
+
+The per-round unit of work — "run one party's local training against the
+current global model" — is embarrassingly parallel, and FL simulators built
+for this workload (FedJAX, FedML's distributed-computing layer) all treat
+it that way.  This module provides two interchangeable backends:
+
+- :class:`SerialExecutor` — the classic single-process loop (default);
+- :class:`ParallelExecutor` — a fork-based ``multiprocessing`` pool with
+  one long-lived model replica per worker.
+
+Both rely on the algorithm purity contract (see
+:meth:`repro.federated.algorithms.base.FedAlgorithm.local_update`): a
+client round is a pure function of ``(global_state, client payload,
+config)`` that may use its ``model`` argument only as scratch workspace
+and must report persistent per-party state changes in
+``ClientResult.client_state`` instead of mutating anything shared.
+
+Determinism
+-----------
+Results are **bitwise identical regardless of worker count**:
+
+- each party owns a private ``numpy`` generator; the worker receives its
+  current state with the task and returns the advanced state with the
+  result, so shuffling sequences match the serial schedule exactly;
+- the global state is shipped as a flat ``float32`` vector (the
+  :mod:`repro.grad.serialize` transport dtype) and unflattened against the
+  worker replica — a lossless round-trip for ``float32`` model states;
+- the server consumes results in *participant order* (submission order),
+  never completion order, so aggregation sees the same sequence the
+  serial loop produces.
+
+Workers are forked lazily on the first round, after
+:meth:`FedAlgorithm.prepare`, so the replicas inherit the datasets and
+cached key structure by copy-on-write instead of pickling them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.grad.serialize import state_dict_to_vector, vector_to_state_dict
+
+if TYPE_CHECKING:
+    from repro.grad.nn.module import Module
+    from repro.federated.algorithms.base import ClientResult, FedAlgorithm
+    from repro.federated.client import Client
+    from repro.federated.config import FederatedConfig
+
+
+def fork_available() -> bool:
+    """Whether this platform supports fork-based worker pools."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ClientExecutor:
+    """Interface: run the sampled parties' local rounds for one round."""
+
+    def setup(
+        self,
+        model: "Module",
+        algorithm: "FedAlgorithm",
+        clients: "list[Client]",
+        config: "FederatedConfig",
+    ) -> None:
+        """Bind the run's shared objects; called once by the server."""
+        self.model = model
+        self.algorithm = algorithm
+        self.clients = clients
+        self.config = config
+
+    def run_round(
+        self, global_state: dict[str, np.ndarray], participants: Sequence[int]
+    ) -> "list[ClientResult]":
+        """Execute local training for ``participants``, in their order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "ClientExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(ClientExecutor):
+    """Run parties one after another on the server's workspace model."""
+
+    def run_round(
+        self, global_state: dict[str, np.ndarray], participants: Sequence[int]
+    ) -> "list[ClientResult]":
+        payload = self.algorithm.broadcast_payload()
+        return [
+            self.algorithm.local_update(
+                self.model, global_state, self.clients[party], self.config, payload
+            )
+            for party in participants
+        ]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+# ----------------------------------------------------------------------
+# Fork-side worker machinery
+# ----------------------------------------------------------------------
+class _WorkerState:
+    """Everything a worker inherits at fork time (copy-on-write)."""
+
+    __slots__ = ("model", "algorithm", "clients", "config", "keys", "template")
+
+    def __init__(self, model, algorithm, clients, config, keys):
+        self.model = model
+        self.algorithm = algorithm
+        self.clients = clients
+        self.config = config
+        self.keys = keys
+        self.template = None  # lazily cached state-dict template
+
+
+#: Set in the parent immediately before the pool forks; each worker keeps
+#: the inherited snapshot.  Only the mutable bits (rng state, per-party
+#: state, the global model vector) travel with each task.
+_FORK_STATE: _WorkerState | None = None
+
+
+def _run_task(client_index, global_vec, rng_state, client_state, payload):
+    """Worker entry: one party's local round against the shipped state."""
+    state = _FORK_STATE
+    if state is None:  # pragma: no cover - defensive; fork guarantees it
+        raise RuntimeError("worker has no inherited federation state")
+    if state.template is None:
+        state.template = state.model.state_dict()
+    client = state.clients[client_index]
+    client.rng.bit_generator.state = rng_state
+    client.state = client_state
+    global_state = vector_to_state_dict(global_vec, state.template, keys=state.keys)
+    result = state.algorithm.local_update(
+        state.model, global_state, client, state.config, payload
+    )
+    return result, client.rng.bit_generator.state
+
+
+def _shutdown_pool(pool) -> None:
+    pool.terminate()
+    pool.join()
+
+
+class ParallelExecutor(ClientExecutor):
+    """Train sampled parties concurrently in a fork-based process pool.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker processes (>= 2; use :class:`SerialExecutor` for
+        single-process execution).  Values above the number of sampled
+        parties per round are harmless — excess workers idle.
+    """
+
+    def __init__(self, num_workers: int):
+        if num_workers < 2:
+            raise ValueError(
+                f"ParallelExecutor needs num_workers >= 2, got {num_workers}; "
+                "use SerialExecutor for single-process execution"
+            )
+        if not fork_available():
+            raise RuntimeError(
+                "ParallelExecutor requires the 'fork' start method (POSIX); "
+                "use SerialExecutor on this platform"
+            )
+        self.num_workers = num_workers
+        self._pool = None
+        self._keys: list[str] | None = None
+        self._finalizer = None
+
+    def _ensure_pool(self, global_state: dict[str, np.ndarray]) -> None:
+        if self._pool is not None:
+            return
+        global _FORK_STATE
+        self._keys = sorted(global_state)
+        _FORK_STATE = _WorkerState(
+            self.model, self.algorithm, self.clients, self.config, self._keys
+        )
+        try:
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(self.num_workers)
+        finally:
+            _FORK_STATE = None
+        self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+
+    def run_round(
+        self, global_state: dict[str, np.ndarray], participants: Sequence[int]
+    ) -> "list[ClientResult]":
+        self._ensure_pool(global_state)
+        payload = self.algorithm.broadcast_payload()
+        global_vec = state_dict_to_vector(global_state, keys=self._keys)
+        pending = []
+        for party in participants:
+            client = self.clients[party]
+            pending.append(
+                self._pool.apply_async(
+                    _run_task,
+                    (
+                        party,
+                        global_vec,
+                        client.rng.bit_generator.state,
+                        client.state,
+                        payload,
+                    ),
+                )
+            )
+        # Collect in submission (= participant) order, not completion order,
+        # so aggregation is independent of worker scheduling.
+        results = []
+        for party, handle in zip(participants, pending):
+            result, rng_state = handle.get()
+            self.clients[party].rng.bit_generator.state = rng_state
+            results.append(result)
+        return results
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(num_workers={self.num_workers})"
+
+
+def make_executor(config: "FederatedConfig") -> ClientExecutor:
+    """Build the executor a :class:`FederatedConfig` asks for.
+
+    ``executor="serial"`` and ``executor="parallel"`` are explicit;
+    ``"auto"`` picks :class:`ParallelExecutor` when ``num_workers >= 2``
+    and the platform can fork, falling back to :class:`SerialExecutor`
+    otherwise.
+    """
+    wants_parallel = config.executor == "parallel" or (
+        config.executor == "auto" and config.num_workers >= 2
+    )
+    if not wants_parallel:
+        return SerialExecutor()
+    if config.executor == "auto" and not fork_available():
+        return SerialExecutor()
+    return ParallelExecutor(max(config.num_workers, 2))

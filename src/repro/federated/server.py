@@ -3,14 +3,18 @@
 Round structure:
 
 1. sample a set of parties ``S_t``;
-2. broadcast the global model and run each party's local training (via the
-   algorithm's :meth:`client_round`);
-3. aggregate the results into the next global model (the algorithm's
+2. broadcast the global model and run each party's local training through
+   the configured :class:`~repro.federated.executor.ClientExecutor`
+   (serially on the workspace model, or fan-out across a worker pool —
+   bitwise-identical either way);
+3. commit each result's persistent per-party state, in participant order;
+4. aggregate the results into the next global model (the algorithm's
    :meth:`aggregate`);
-4. periodically evaluate top-1 accuracy on the held-out test set.
+5. periodically evaluate top-1 accuracy on the held-out test set.
 
-The server owns a single workspace model instance; party training reloads
-weights into it instead of rebuilding, so CPU runs stay cheap.
+The server owns a single workspace model instance; serial party training
+reloads weights into it instead of rebuilding, so CPU runs stay cheap.
+Parallel workers fork their own long-lived replicas of it.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from repro.federated.algorithms.base import FedAlgorithm
 from repro.federated.client import Client
 from repro.federated.config import FederatedConfig
 from repro.federated.evaluation import evaluate_accuracy
+from repro.federated.executor import ClientExecutor, make_executor
 from repro.federated.history import History, RoundRecord
 from repro.federated.sampling import StratifiedSampler, sample_parties
 
@@ -47,6 +52,12 @@ class FederatedServer:
     round_callback:
         Optional hook ``(round_index, server) -> None`` called after each
         round; useful for custom logging or early stopping in examples.
+    executor:
+        Client-execution backend.  Defaults to whatever ``config`` asks
+        for (``config.executor`` / ``config.num_workers``); pass an
+        instance to share a pool across servers or to inject a custom
+        backend.  Call :meth:`close` (or use the server as a context
+        manager) to release pooled workers.
     """
 
     def __init__(
@@ -57,6 +68,7 @@ class FederatedServer:
         config: FederatedConfig,
         test_dataset=None,
         round_callback: Callable[[int, "FederatedServer"], None] | None = None,
+        executor: ClientExecutor | None = None,
     ):
         if not clients:
             raise ValueError("need at least one client")
@@ -79,6 +91,10 @@ class FederatedServer:
             )
             self._stratified = StratifiedSampler(counts)
         algorithm.prepare(model, clients, config)
+        # The executor binds after prepare() so forked workers inherit the
+        # algorithm's cached key structure with the rest of the snapshot.
+        self.executor = executor if executor is not None else make_executor(config)
+        self.executor.setup(model, algorithm, clients, config)
 
     @property
     def num_parties(self) -> int:
@@ -94,12 +110,13 @@ class FederatedServer:
             participants = sample_parties(
                 self.num_parties, self.config.sample_fraction, self._sampler_rng
             )
-        results = []
-        for party in participants:
-            result = self.algorithm.client_round(
-                self.model, self.global_state, self.clients[party], self.config
-            )
-            results.append(result)
+        participants = [int(p) for p in participants]
+        results = self.executor.run_round(self.global_state, participants)
+        # Commit persistent per-party state (SCAFFOLD c_i, local BN) in
+        # participant order, then aggregate over the same ordering — the
+        # two invariants that keep parallel runs bitwise-equal to serial.
+        for party, result in zip(participants, results):
+            self.algorithm.commit(self.clients[party], result)
         self.global_state = self.algorithm.aggregate(
             self.global_state, results, self.config
         )
@@ -114,7 +131,7 @@ class FederatedServer:
             round_index=round_index,
             test_accuracy=accuracy,
             train_loss=float(np.mean([r.mean_loss for r in results])),
-            participants=[int(p) for p in participants],
+            participants=participants,
             bytes_communicated=4 * (down + up) * len(participants),
             client_steps=[r.num_steps for r in results],
         )
@@ -138,3 +155,13 @@ class FederatedServer:
             raise ValueError("no test dataset provided")
         self.model.load_state_dict(self.global_state)
         return evaluate_accuracy(self.model, target, self.config.eval_batch_size)
+
+    def close(self) -> None:
+        """Release the executor's resources (worker pools); idempotent."""
+        self.executor.close()
+
+    def __enter__(self) -> "FederatedServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.grad.tensor import Tensor
+from repro.grad.tensor import Tensor, is_grad_enabled
 
 
 # ----------------------------------------------------------------------
@@ -17,6 +17,56 @@ from repro.grad.tensor import Tensor
 # ----------------------------------------------------------------------
 def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
+
+
+#: Max pooled buffers per (shape, kernel, stride, padding) key; beyond
+#: this, untracked fresh arrays are allocated (protects code that trains
+#: without ever calling ``zero_grad``, which would otherwise grow the pool
+#: without bound).
+_POOL_CAP = 32
+
+#: Reusable im2col column buffers, keyed by the full geometry of the call.
+#: Training batches have fixed shapes, so after the first step every im2col
+#: on the hot path writes into an existing buffer instead of allocating the
+#: largest temporary of the whole forward pass.  Buffers are recycled per
+#: *slot*: each call in grad mode claims the next slot for its key (the
+#: backward closure holds the columns until the backward pass runs), and
+#: :func:`reset_im2col_workspace` — wired into ``Optimizer.zero_grad`` /
+#: ``Module.zero_grad``, i.e. the training-step boundary — rewinds the
+#: cursors once the previous step's graph is dead.
+_COLUMN_POOL: dict[tuple, list[np.ndarray]] = {}
+_COLUMN_CURSOR: dict[tuple, int] = {}
+#: Zero-padded input scratch, reusable immediately (only read during the
+#: copy into columns, never captured by a backward closure).  The zero
+#: border is written once; only the interior is refreshed per call.
+_PADDED_SCRATCH: dict[tuple, np.ndarray] = {}
+
+
+def reset_im2col_workspace() -> None:
+    """Mark pooled im2col buffers reusable (called at step boundaries)."""
+    _COLUMN_CURSOR.clear()
+
+
+def _column_buffer(key: tuple, shape: tuple, dtype) -> np.ndarray:
+    if is_grad_enabled():
+        # The buffer stays live until backward: give every call since the
+        # last reset its own slot.
+        pool = _COLUMN_POOL.setdefault(key, [])
+        index = _COLUMN_CURSOR.get(key, 0)
+        _COLUMN_CURSOR[key] = index + 1
+        if index >= _POOL_CAP:
+            return np.empty(shape, dtype=dtype)
+        if index == len(pool):
+            pool.append(np.empty(shape, dtype=dtype))
+        return pool[index]
+    # No-grad (evaluation): nothing outlives the call, one scratch
+    # suffices.  Kept under a distinct key so a pending training graph can
+    # never alias with evaluation run mid-step.
+    scratch_key = key + ("nograd",)
+    pool = _COLUMN_POOL.setdefault(scratch_key, [])
+    if not pool:
+        pool.append(np.empty(shape, dtype=dtype))
+    return pool[0]
 
 
 def im2col(
@@ -37,11 +87,15 @@ def im2col(
     out_h = _out_size(h, kernel, stride, padding)
     out_w = _out_size(w, kernel, stride, padding)
     if padding > 0:
-        images = np.pad(
-            images,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
-        )
+        pad_key = (n, c, h, w, padding, np.dtype(images.dtype).str)
+        padded = _PADDED_SCRATCH.get(pad_key)
+        if padded is None:
+            padded = np.zeros(
+                (n, c, h + 2 * padding, w + 2 * padding), dtype=images.dtype
+            )
+            _PADDED_SCRATCH[pad_key] = padded
+        padded[:, :, padding : padding + h, padding : padding + w] = images
+        images = padded
     strides = images.strides
     shape = (n, c, out_h, out_w, kernel, kernel)
     windows = np.lib.stride_tricks.as_strided(
@@ -57,11 +111,12 @@ def im2col(
         ),
         writeable=False,
     )
-    # (N, out_h, out_w, C, k, k) -> rows of patches
-    columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
-        n * out_h * out_w, c * kernel * kernel
-    )
-    return np.ascontiguousarray(columns)
+    # (N, out_h, out_w, C, k, k) patches, materialized contiguously into a
+    # pooled buffer; the final reshape to patch rows is then a view.
+    key = (n, c, h, w, kernel, stride, padding, np.dtype(images.dtype).str)
+    columns = _column_buffer(key, (n, out_h, out_w, c, kernel, kernel), images.dtype)
+    np.copyto(columns, windows.transpose(0, 2, 3, 1, 4, 5))
+    return columns.reshape(n * out_h * out_w, c * kernel * kernel)
 
 
 def col2im(
@@ -220,6 +275,12 @@ def softmax(logits: Tensor, axis: int = -1) -> Tensor:
 def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
     """Softmax cross-entropy with integer class targets.
 
+    Forward and backward are fused into a single graph node: the loss is
+    computed from the log-sum-exp directly and the backward pass uses the
+    closed form ``softmax - onehot`` — no intermediate log-softmax tensor
+    or advanced-indexing node is materialized, which removes two ``(N, C)``
+    allocations per training step on the local-training hot path.
+
     Parameters
     ----------
     logits:
@@ -237,17 +298,44 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") 
     n = logits.shape[0]
     if targets.shape[0] != n:
         raise ValueError("logits and targets disagree on batch size")
+    if reduction not in ("none", "sum", "mean"):
+        raise ValueError(f"unknown reduction {reduction!r}")
 
-    log_probs = log_softmax(logits, axis=1)
-    picked = log_probs[np.arange(n), targets]
-    losses = -picked
+    rows = np.arange(n)
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    sumexp = exp.sum(axis=1, keepdims=True)
+    # -log p_target = log-sum-exp - shifted logit at the target class.
+    losses = np.log(sumexp[:, 0]) - shifted[rows, targets]
     if reduction == "none":
-        return losses
-    if reduction == "sum":
-        return losses.sum()
-    if reduction == "mean":
-        return losses.mean()
-    raise ValueError(f"unknown reduction {reduction!r}")
+        out = Tensor(losses)
+    elif reduction == "sum":
+        out = Tensor(losses.sum())
+    else:
+        out = Tensor(losses.mean())
+
+    def backward(grad):
+        if not logits.requires_grad:
+            return
+        # d loss_i / d logits_i = softmax_i - onehot(target_i), scaled by
+        # the incoming gradient (per-sample for "none", scalar otherwise).
+        if reduction == "none":
+            scale = np.asarray(grad).reshape(n, 1)
+        elif reduction == "mean":
+            scale = np.asarray(grad) / n
+        else:
+            scale = np.asarray(grad)
+        # exp is ours alone and dead after this single-use backward pass,
+        # so the softmax can be formed in place.
+        softmax = np.divide(exp, sumexp, out=exp)
+        grad_logits = softmax * scale
+        if reduction == "none":
+            grad_logits[rows, targets] -= scale[:, 0]
+        else:
+            grad_logits[rows, targets] -= scale
+        logits._accumulate(grad_logits)
+
+    return out._attach((logits,), backward)
 
 
 def mse_loss(pred: Tensor, target, reduction: str = "mean") -> Tensor:

@@ -108,6 +108,10 @@ class Module:
         return self.train(False)
 
     def zero_grad(self) -> None:
+        # Step boundary: recycle pooled im2col buffers (see functional).
+        from repro.grad import functional
+
+        functional.reset_im2col_workspace()
         for param in self.parameters():
             param.grad = None
 

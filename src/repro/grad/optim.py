@@ -31,6 +31,11 @@ class Optimizer:
             raise ValueError("optimizer got an empty parameter list")
 
     def zero_grad(self) -> None:
+        # A zero_grad marks a training-step boundary: the previous step's
+        # graph is dead, so pooled im2col buffers may be recycled.
+        from repro.grad import functional
+
+        functional.reset_im2col_workspace()
         for param in self.params:
             param.grad = None
 

@@ -1,0 +1,201 @@
+"""Executor backends: serial-vs-parallel bitwise determinism, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.federated import (
+    FedAvg,
+    FederatedConfig,
+    FederatedServer,
+    ParallelExecutor,
+    Scaffold,
+    SerialExecutor,
+    make_clients,
+    make_executor,
+)
+from repro.federated.executor import fork_available
+from repro.grad import nn
+from repro.partition import HomogeneousPartitioner
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="parallel executor requires fork"
+)
+
+
+def toy_split(seed=7, n=200, n_test=60, dim=5, classes=3):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((dim, classes)).astype(np.float32)
+
+    def sample(count):
+        x = rng.standard_normal((count, dim)).astype(np.float32)
+        return ArrayDataset(x, (x @ w).argmax(axis=1).astype(np.int64))
+
+    return sample(n), sample(n_test)
+
+
+def make_server(algorithm, num_workers=0, num_parties=10, seed=0, **config_kwargs):
+    train, test = toy_split()
+    part = HomogeneousPartitioner().partition(
+        train, num_parties, np.random.default_rng(seed)
+    )
+    clients = make_clients(part, train, seed=seed)
+    rng = np.random.default_rng(1)
+    model = nn.Sequential(
+        nn.Linear(5, 16, rng=rng),
+        nn.BatchNorm1d(16),
+        nn.ReLU(),
+        nn.Linear(16, 3, rng=rng),
+    )
+    defaults = dict(
+        num_rounds=2, local_epochs=2, batch_size=16, lr=0.05,
+        seed=seed, num_workers=num_workers,
+    )
+    defaults.update(config_kwargs)
+    return FederatedServer(
+        model, algorithm, clients, FederatedConfig(**defaults), test_dataset=test
+    )
+
+
+def run_to_completion(server):
+    with server:
+        history = server.fit()
+    return history
+
+
+def assert_same_run(reference, other):
+    """Bitwise equality of final global state, history, and rng schedules."""
+    for key in reference.global_state:
+        np.testing.assert_array_equal(
+            reference.global_state[key], other.global_state[key], err_msg=key
+        )
+    assert [r.to_dict() for r in reference.history.records] == [
+        r.to_dict() for r in other.history.records
+    ]
+    for a, b in zip(reference.clients, other.clients):
+        assert a.rng.bit_generator.state == b.rng.bit_generator.state
+
+
+class TestExecutorSelection:
+    def test_default_is_serial(self):
+        assert isinstance(make_executor(FederatedConfig()), SerialExecutor)
+
+    def test_auto_with_workers_is_parallel(self):
+        if not fork_available():  # pragma: no cover - POSIX containers fork
+            pytest.skip("no fork")
+        executor = make_executor(FederatedConfig(num_workers=4))
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.num_workers == 4
+
+    def test_explicit_serial_ignores_workers(self):
+        config = FederatedConfig(executor="serial", num_workers=8)
+        assert isinstance(make_executor(config), SerialExecutor)
+
+    def test_parallel_needs_two_workers(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            FederatedConfig(executor="parallel", num_workers=1)
+        with pytest.raises(ValueError, match="num_workers"):
+            ParallelExecutor(1)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            FederatedConfig(executor="threads")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            FederatedConfig(num_workers=-1)
+
+
+@needs_fork
+@pytest.mark.parallel
+class TestSerialParallelDeterminism:
+    """The acceptance bar: identical History regardless of worker count."""
+
+    def test_fedavg_bitwise_identical_across_worker_counts(self):
+        reference = make_server(FedAvg(), num_workers=0)
+        run_to_completion(reference)
+        for workers in (2, 4):
+            server = make_server(FedAvg(), num_workers=workers)
+            assert isinstance(server.executor, ParallelExecutor)
+            run_to_completion(server)
+            assert_same_run(reference, server)
+
+    def test_scaffold_bitwise_identical_and_state_committed(self):
+        reference = make_server(Scaffold(), num_workers=0)
+        run_to_completion(reference)
+        server = make_server(Scaffold(), num_workers=2)
+        run_to_completion(server)
+        assert_same_run(reference, server)
+        # Worker-computed control variates were committed to parent clients.
+        for ref_client, client in zip(reference.clients, server.clients):
+            assert "scaffold_c" in client.state
+            for a, b in zip(ref_client.state["scaffold_c"], client.state["scaffold_c"]):
+                np.testing.assert_array_equal(a, b)
+        # ... and the server-side control variate matches too.
+        for a, b in zip(
+            reference.algorithm.server_control, server.algorithm.server_control
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_local_bn_policy_matches_in_parallel(self):
+        reference = make_server(FedAvg(), num_workers=0, bn_policy="local")
+        run_to_completion(reference)
+        server = make_server(FedAvg(), num_workers=2, bn_policy="local")
+        run_to_completion(server)
+        assert_same_run(reference, server)
+        for ref_client, client in zip(reference.clients, server.clients):
+            assert "bn_local" in client.state
+            for key, value in ref_client.state["bn_local"].items():
+                np.testing.assert_array_equal(value, client.state["bn_local"][key])
+
+    def test_partial_participation_matches(self):
+        reference = make_server(FedAvg(), num_workers=0, sample_fraction=0.5)
+        run_to_completion(reference)
+        server = make_server(FedAvg(), num_workers=2, sample_fraction=0.5)
+        run_to_completion(server)
+        assert_same_run(reference, server)
+
+
+@needs_fork
+@pytest.mark.parallel
+class TestExecutorLifecycle:
+    def test_close_is_idempotent(self):
+        server = make_server(FedAvg(), num_workers=2)
+        server.fit(1)
+        server.close()
+        server.close()
+
+    def test_close_before_first_round_is_safe(self):
+        server = make_server(FedAvg(), num_workers=2)
+        server.close()
+
+    def test_serial_executor_close_noop(self):
+        server = make_server(FedAvg(), num_workers=0)
+        run_to_completion(server)
+        server.close()
+
+
+class TestPurityContract:
+    def test_client_round_wrapper_commits_state(self):
+        # The compatibility wrapper = local_update + commit.
+        server = make_server(Scaffold(), num_workers=0)
+        client = server.clients[0]
+        result = server.algorithm.client_round(
+            server.model, server.global_state, client, server.config
+        )
+        assert "scaffold_c" in client.state
+        for committed, returned in zip(
+            client.state["scaffold_c"], result.client_state["scaffold_c"]
+        ):
+            np.testing.assert_array_equal(committed, returned)
+        server.close()
+
+    def test_local_update_does_not_touch_client_state(self):
+        server = make_server(Scaffold(), num_workers=0)
+        client = server.clients[0]
+        payload = server.algorithm.broadcast_payload()
+        server.algorithm.local_update(
+            server.model, server.global_state, client, server.config, payload
+        )
+        assert client.state == {}
+        server.close()

@@ -218,6 +218,76 @@ class TestSoftmaxAndLosses:
         np.testing.assert_allclose(out.data.sum(axis=1), np.ones(3), rtol=1e-6)
 
 
+class TestFusedCrossEntropy:
+    """The fused forward+backward node must match finite differences.
+
+    ``cross_entropy`` builds a single graph node whose backward is the
+    closed form ``softmax - onehot`` (scaled per reduction) instead of
+    chaining log_softmax/gather/mean nodes; each reduction has its own
+    scaling path, so each gets its own finite-difference check.
+    """
+
+    def test_is_single_graph_node(self, rng):
+        z = t(rng.standard_normal((3, 4)))
+        loss = F.cross_entropy(z, np.array([0, 1, 2]))
+        assert loss._parents == (z,)
+
+    def test_sum_reduction_gradient(self, rng):
+        z0 = rng.standard_normal((6, 4))
+        targets = np.array([0, 3, 1, 2, 3, 0])
+
+        def loss(arr):
+            return F.cross_entropy(t(arr), targets, reduction="sum").item()
+
+        z = t(z0)
+        F.cross_entropy(z, targets, reduction="sum").backward()
+        np.testing.assert_allclose(
+            z.grad, numerical_gradient(loss, z0), rtol=1e-4, atol=1e-7
+        )
+
+    def test_none_reduction_gradient_with_upstream(self, rng):
+        # Per-sample losses contracted against arbitrary weights exercise
+        # the fused backward's per-row upstream-gradient broadcast.
+        z0 = rng.standard_normal((5, 3))
+        targets = np.array([2, 0, 1, 1, 2])
+        weights = rng.standard_normal(5)
+
+        def loss(arr):
+            per_sample = F.cross_entropy(t(arr), targets, reduction="none")
+            return (per_sample * Tensor(weights)).sum().item()
+
+        z = t(z0)
+        (F.cross_entropy(z, targets, reduction="none") * Tensor(weights)).sum().backward()
+        np.testing.assert_allclose(
+            z.grad, numerical_gradient(loss, z0), rtol=1e-4, atol=1e-7
+        )
+
+    def test_mean_gradient_is_softmax_minus_onehot(self, rng):
+        z0 = rng.standard_normal((4, 6))
+        targets = np.array([5, 0, 2, 4])
+        z = t(z0)
+        F.cross_entropy(z, targets).backward()
+        expected = np.exp(F.log_softmax(t(z0)).data)
+        expected[np.arange(4), targets] -= 1.0
+        np.testing.assert_allclose(z.grad, expected / 4, rtol=1e-6, atol=1e-9)
+
+    def test_extreme_logits_stable(self):
+        z = t(np.array([[1000.0, -1000.0, 0.0], [-1000.0, 1000.0, 0.0]]))
+        loss = F.cross_entropy(z, np.array([0, 0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.all(np.isfinite(z.grad))
+
+    def test_backward_does_not_mutate_forward_output(self, rng):
+        # The fused backward reuses its exp buffer in place; the per-sample
+        # losses handed to the caller must not change under backward.
+        z = t(rng.standard_normal((3, 4)))
+        per_sample = F.cross_entropy(z, np.array([0, 1, 2]), reduction="none")
+        before = per_sample.data.copy()
+        per_sample.sum().backward()
+        np.testing.assert_array_equal(per_sample.data, before)
+
+
 class TestDropout:
     def test_eval_mode_identity(self, rng):
         x = t(rng.standard_normal((10, 10)))
