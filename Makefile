@@ -1,14 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench
+.PHONY: test test-fast lint bench
 
-test:
+test: lint
 	$(PYTHON) -m pytest -x -q
 
 # Skip the fork-based parallel-executor tests (slowest part of the suite).
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not parallel"
+
+# Uses ruff or pyflakes when installed; otherwise a stdlib AST fallback.
+lint:
+	$(PYTHON) tools/lint.py src tests
 
 bench:
 	$(PYTHON) -m repro.experiments.bench --output BENCH_core.json

@@ -21,9 +21,10 @@ import sys
 
 import numpy as np
 
+from repro.comm import CODEC_NAMES
 from repro.data import DATASET_NAMES, load_dataset
 from repro.experiments import recommend_algorithm, run_federated_experiment, run_trials
-from repro.experiments.scale import BENCH, PRESETS
+from repro.experiments.scale import PRESETS
 from repro.federated.algorithms import ALGORITHM_NAMES
 from repro.partition import parse_strategy, stats
 
@@ -101,6 +102,18 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         "--party-sampler", default="uniform", choices=("uniform", "stratified"),
         help="party sampling policy under partial participation",
     )
+    parser.add_argument(
+        "--codec", default="identity", choices=CODEC_NAMES,
+        help="update-compression codec for both transport directions",
+    )
+    parser.add_argument(
+        "--codec-bits", type=int, default=8,
+        help="bit width for the qsgd codec (1-16)",
+    )
+    parser.add_argument(
+        "--codec-k", type=float, default=0.1,
+        help="kept fraction in (0, 1] for the topk/randk codecs",
+    )
     parser.add_argument("--preset", default="bench", choices=sorted(PRESETS))
     parser.add_argument("--init-seed", type=int, default=0)
     parser.add_argument(
@@ -126,6 +139,9 @@ def _experiment_kwargs(args) -> dict:
         optimizer=args.optimizer,
         executor=args.executor,
         num_workers=args.num_workers,
+        codec=args.codec,
+        codec_bits=args.codec_bits,
+        codec_k=args.codec_k,
         algorithm_kwargs=algorithm_kwargs,
     )
 

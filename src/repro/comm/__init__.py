@@ -1,0 +1,49 @@
+"""Communication subsystem: pluggable update compression + byte metering.
+
+The paper's Section 5.2 communication-efficiency view (accuracy against
+bytes shipped, SCAFFOLD's doubled payload) needs a real transport to
+measure.  This package provides it:
+
+- :mod:`repro.comm.codecs` — the :class:`Codec` interface and four
+  seeded, deterministic implementations (``identity``, ``float16``,
+  QSGD-style stochastic quantization, top-k / random-k sparsification
+  with error feedback);
+- :mod:`repro.comm.channel` — :class:`CommChannel`, which applies one
+  codec to both transport directions of every federated round and
+  reports *measured* payload sizes into the round records.
+
+Select a codec per run via ``FederatedConfig(codec=..., codec_bits=...,
+codec_k=...)`` or the CLI's ``--codec`` / ``--codec-bits`` /
+``--codec-k`` flags; the default ``identity`` reproduces the float32
+wire (and byte accounting) the repository used before this subsystem
+existed, bit for bit.
+"""
+
+from repro.comm.codecs import (
+    CODEC_NAMES,
+    FLOAT_BYTES,
+    Codec,
+    Float16Codec,
+    IdentityCodec,
+    Payload,
+    QSGDCodec,
+    RandKCodec,
+    TopKCodec,
+    make_codec,
+)
+from repro.comm.channel import RESIDUAL_KEY, CommChannel
+
+__all__ = [
+    "Codec",
+    "Payload",
+    "IdentityCodec",
+    "Float16Codec",
+    "QSGDCodec",
+    "TopKCodec",
+    "RandKCodec",
+    "make_codec",
+    "CODEC_NAMES",
+    "FLOAT_BYTES",
+    "CommChannel",
+    "RESIDUAL_KEY",
+]

@@ -18,6 +18,7 @@ from repro.experiments.decision_tree import SkewDescription, recommend_algorithm
 from repro.experiments.leaderboard import Leaderboard
 from repro.experiments.centralized import centralized_reference, train_centralized
 from repro.experiments.sweeps import SweepResult, sweep
+from repro.experiments.comm import CommSweepResult, communication_sweep
 from repro.experiments import scale
 
 __all__ = [
@@ -32,5 +33,7 @@ __all__ = [
     "centralized_reference",
     "sweep",
     "SweepResult",
+    "communication_sweep",
+    "CommSweepResult",
     "scale",
 ]

@@ -11,6 +11,11 @@ Two timings matter for this repo's wall-clock budget:
    parallel executor at several worker counts.  This is the number the
    executor backend in :mod:`repro.federated.executor` moves.
 
+A third family measures the communication layer in :mod:`repro.comm`:
+per-codec encode/decode throughput on a model-sized vector, and the
+measured bytes one federated round puts on the wire under each codec
+(the compression-ratio column of the Section 5.2 trade-off).
+
 Run as ``python -m repro.experiments.bench`` (or ``make bench`` /
 ``repro-bench``); results land in ``BENCH_core.json`` with enough
 hardware context to interpret the speedup column.  On a machine with
@@ -120,6 +125,91 @@ def bench_federated_round(
     }
 
 
+#: codec configurations benchmarked, mirroring the sweep's default ladder
+BENCH_CODECS = (
+    {"codec": "identity"},
+    {"codec": "float16"},
+    {"codec": "qsgd", "codec_bits": 4},
+    {"codec": "qsgd", "codec_bits": 8},
+    {"codec": "topk", "codec_k": 0.1},
+    {"codec": "randk", "codec_k": 0.1},
+)
+
+
+def _codec_label(spec: dict) -> str:
+    name = spec["codec"]
+    if name == "qsgd":
+        return f"qsgd{spec['codec_bits']}"
+    if name in ("topk", "randk"):
+        return f"{name}{spec['codec_k']:g}"
+    return name
+
+
+def bench_codecs(size: int = 131072, repeats: int = 3, seed: int = 0) -> list[dict]:
+    """Encode/decode throughput and wire size per codec on a dense vector.
+
+    ``size`` defaults to the order of the bench CNN's parameter count so
+    the timings predict real per-client encode cost.
+    """
+    from repro.comm import FLOAT_BYTES, make_codec
+
+    rng = np.random.default_rng(seed)
+    vector = rng.standard_normal(size).astype(np.float32)
+    rows = []
+    for spec in BENCH_CODECS:
+        codec = make_codec(
+            spec["codec"],
+            bits=spec.get("codec_bits", 8),
+            k=spec.get("codec_k", 0.1),
+        )
+        codec_rng = np.random.default_rng(seed + 1)
+        payload = codec.encode(vector, rng=codec_rng)
+        encode_s = _time(lambda: codec.encode(vector, rng=codec_rng), repeats)
+        decode_s = _time(lambda: codec.decode(payload), repeats)
+        rows.append(
+            {
+                "codec": _codec_label(spec),
+                "encode_seconds": round(encode_s, 5),
+                "decode_seconds": round(decode_s, 5),
+                "encode_mfloats_per_s": round(size / encode_s / 1e6, 1),
+                "nbytes": payload.nbytes,
+                "ratio_vs_float32": round(
+                    payload.nbytes / (FLOAT_BYTES * size), 4
+                ),
+            }
+        )
+    return rows
+
+
+def bench_round_bytes(seed: int = 0) -> list[dict]:
+    """Measured bytes one federated round transmits under each codec.
+
+    Round 0 is measured, so error-feedback codecs show their dense
+    warm-start broadcast on the downlink; their steady-state downlink is
+    as sparse as the uplink.
+    """
+    rows = []
+    for spec in BENCH_CODECS:
+        model, clients = _build_fixture(seed=seed)
+        config = _config(**spec)
+        with FederatedServer(model, FedAvg(), clients, config) as server:
+            record = server.run_round(0)
+        rows.append(
+            {
+                "codec": _codec_label(spec),
+                "bytes_down": record.bytes_down,
+                "bytes_up": record.bytes_up,
+                "bytes_total": record.bytes_communicated,
+            }
+        )
+    baseline = next(r for r in rows if r["codec"] == "identity")
+    for row in rows:
+        row["ratio_vs_identity"] = round(
+            row["bytes_total"] / baseline["bytes_total"], 4
+        )
+    return rows
+
+
 def _hardware_note(cpu_count: int, worker_counts: list[int]) -> str:
     if not worker_counts:
         return "No parallel worker counts benchmarked."
@@ -169,6 +259,8 @@ def run_benchmarks(
             bench_federated_round(w, repeats=repeats, seed=seed)
             for w in worker_counts
         ],
+        "codec_throughput": bench_codecs(repeats=max(repeats, 3), seed=seed),
+        "round_bytes": bench_round_bytes(seed=seed),
     }
     serial = next(
         (r for r in report["federated_round"] if r["num_workers"] == 0), None

@@ -92,3 +92,90 @@ def line_chart(
     )
     lines.append("        " + legend)
     return "\n".join(lines)
+
+
+def xy_chart(
+    series: dict[str, tuple],
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "acc",
+    x_label: str = "x",
+) -> str:
+    """ASCII chart of ``name -> (x values, y values)`` series.
+
+    Unlike :func:`line_chart`, which spaces points uniformly, each point
+    lands at its actual x coordinate on a shared axis — the right shape
+    for curves whose x axis is a measured quantity (bytes, seconds).
+    """
+    if not series:
+        return "(no series)"
+    if height < 2 or width < 8:
+        raise ValueError("chart too small to draw")
+
+    pairs = {}
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape:
+            raise ValueError(
+                f"series {name!r}: x has shape {xs.shape}, y has {ys.shape}"
+            )
+        mask = np.isfinite(xs) & np.isfinite(ys)
+        pairs[name] = (xs[mask], ys[mask])
+
+    all_x = np.concatenate([xs for xs, _ in pairs.values()])
+    all_y = np.concatenate([ys for _, ys in pairs.values()])
+    if all_x.size == 0:
+        return "(no finite data)"
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    if math.isclose(x_low, x_high):
+        x_low, x_high = x_low - 0.5, x_high + 0.5
+    if math.isclose(y_low, y_high):
+        y_low, y_high = y_low - 0.5, y_high + 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(pairs.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x_val, y_val in zip(xs, ys):
+            x = int(round((x_val - x_low) / (x_high - x_low) * (width - 1)))
+            y = int(round((y_val - y_low) / (y_high - y_low) * (height - 1)))
+            grid[height - 1 - y][x] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:6.3f} |"
+        elif row_index == height - 1:
+            label = f"{y_low:6.3f} |"
+        else:
+            label = "       |"
+        lines.append(label + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        {x_label}: {x_low:.3g} .. {x_high:.3g}   y: {y_label}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(pairs)
+    )
+    lines.append("        " + legend)
+    return "\n".join(lines)
+
+
+def accuracy_vs_bytes_chart(
+    histories: dict[str, "object"],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Test accuracy against cumulative communication (paper Section 5.2).
+
+    ``histories`` maps a label (algorithm, codec, ...) to a
+    :class:`~repro.federated.history.History`.  The x axis is each run's
+    measured ``cumulative_communication()`` in megabytes — the view that
+    makes SCAFFOLD's doubled payload and a lossy codec's savings visible
+    as horizontal displacement of otherwise similar curves.
+    """
+    series = {}
+    for name, history in histories.items():
+        megabytes = history.cumulative_communication() / 1e6
+        mask = ~np.isnan(history.accuracies)
+        series[name] = (megabytes[mask], history.accuracies[mask])
+    return xy_chart(series, height=height, width=width, y_label="acc", x_label="MB")

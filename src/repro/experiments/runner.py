@@ -20,7 +20,7 @@ from repro.federated import (
     make_algorithm,
     make_clients,
 )
-from repro.models import build_model, default_model_for
+from repro.models import build_model
 from repro.partition import Partition, parse_strategy
 from repro.partition.base import Partitioner
 from repro.experiments.scale import BENCH, ScalePreset
@@ -97,6 +97,9 @@ def run_federated_experiment(
     bn_policy: str = "average",
     executor: str = "auto",
     num_workers: int = 0,
+    codec: str = "identity",
+    codec_bits: int = 8,
+    codec_k: float = 0.1,
     seed: int = 0,
     algorithm_kwargs: dict | None = None,
     dataset_kwargs: dict | None = None,
@@ -123,6 +126,10 @@ def run_federated_experiment(
         Client-execution backend (see :mod:`repro.federated.executor`).
         ``num_workers >= 2`` trains sampled parties in parallel worker
         processes; results are bitwise identical to serial execution.
+    codec / codec_bits / codec_k:
+        Update-compression codec for both transport directions (see
+        :mod:`repro.comm`); the default ``identity`` is the paper's
+        uncompressed float32 wire.
     seed:
         Controls dataset generation, partition draw, model init, sampling
         and local shuffling — two runs with equal arguments are identical.
@@ -157,6 +164,9 @@ def run_federated_experiment(
         bn_policy=bn_policy,
         executor=executor,
         num_workers=num_workers,
+        codec=codec,
+        codec_bits=codec_bits,
+        codec_k=codec_k,
         eval_every=eval_every,
         seed=seed + 41,
     )

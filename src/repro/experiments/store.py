@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import pathlib
 
+from repro.federated.history import History
 from repro.experiments.leaderboard import Leaderboard
 from repro.experiments.runner import ExperimentOutcome, TrialSummary
 
@@ -36,6 +37,9 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
             "sampler": outcome.config.sampler,
             "optimizer": outcome.config.optimizer,
             "bn_policy": outcome.config.bn_policy,
+            "codec": outcome.config.codec,
+            "codec_bits": outcome.config.codec_bits,
+            "codec_k": outcome.config.codec_k,
         },
     }
 
@@ -84,6 +88,23 @@ class ResultStore:
                 continue
             out.append(record)
         return out
+
+    def histories(
+        self,
+        dataset: str | None = None,
+        partition: str | None = None,
+        algorithm: str | None = None,
+    ) -> list[History]:
+        """Reload matching runs' histories into the analysis accessors.
+
+        The inverse of persisting ``outcome.history.to_dict()``: curve
+        accessors, ``cumulative_communication()`` and the systems-model
+        replay all work on the reloaded objects.
+        """
+        return [
+            History.from_dict(record["history"])
+            for record in self.query(dataset, partition, algorithm)
+        ]
 
     def leaderboard(self) -> Leaderboard:
         """Aggregate stored runs into a leaderboard (seeds become trials)."""

@@ -58,6 +58,11 @@ class ClientResult:
     #: entries); the server folds these into ``client.state`` via
     #: :meth:`FedAlgorithm.commit` so ``local_update`` stays pure.
     client_state: dict = field(default_factory=dict)
+    #: measured uplink bytes for this party's upload (state + payload
+    #: extras + metadata), set by the executor's
+    #: :class:`~repro.comm.channel.CommChannel` pass; 0 when no channel
+    #: processed the result.
+    upload_nbytes: int = 0
 
 
 class FedAlgorithm:
@@ -84,6 +89,17 @@ class FedAlgorithm:
         """
         state = self._param_numel + self._buffer_numel
         return state, state
+
+    def uplink_metadata_floats(self) -> int:
+        """Aggregation scalars a party ships beyond its array streams.
+
+        The float32 accounting treats the base protocol (FedAvg's sample
+        counts, losses) as free, matching the paper; algorithms whose
+        aggregation consumes *extra* per-party metadata — FedNova's
+        normalization step count ``tau_i`` — override this so the
+        measured byte path (:mod:`repro.comm`) meters it.
+        """
+        return 0
 
     # ------------------------------------------------------------------
     # Hooks

@@ -63,6 +63,21 @@ class FedNova(FedAvg):
             return effective_steps(num_steps, config.momentum)
         return float(num_steps)
 
+    def uplink_metadata_floats(self) -> int:
+        """FedNova's normalization needs each party's step count ``tau_i``.
+
+        The old closed-form accounting charged FedNova exactly FedAvg's
+        model traffic; the normalization metadata its aggregation rule
+        consumes was never counted.  One float per party per round fixes
+        that in both the closed-form and measured paths.
+        """
+        return 1
+
+    def round_payload_floats(self) -> tuple[int, int]:
+        """Model state both ways plus the uplink step-count metadata."""
+        down, up = super().round_payload_floats()
+        return down, up + self.uplink_metadata_floats()
+
     def aggregate(
         self,
         global_state: dict[str, np.ndarray],

@@ -75,6 +75,20 @@ class FederatedConfig:
         mean single-process execution.  A good starting point is the
         machine's physical core count, capped by the number of parties
         sampled per round — extra workers only idle.
+    codec:
+        Update-compression codec applied to both transport directions
+        (see :mod:`repro.comm`): ``"identity"`` (the paper's float32
+        wire — the default, bitwise-identical to uncompressed training),
+        ``"float16"``, ``"qsgd"`` (stochastic uniform quantization at
+        ``codec_bits``), ``"topk"`` or ``"randk"`` (sparsification
+        keeping a ``codec_k`` fraction of entries, with per-party
+        error-feedback residuals).  Byte accounting is measured from the
+        encoded payloads either way.
+    codec_bits:
+        Bit width for the ``qsgd`` codec (1-16; ignored otherwise).
+    codec_k:
+        Kept fraction in (0, 1] for the ``topk``/``randk`` codecs
+        (ignored otherwise).
     """
 
     num_rounds: int = 50
@@ -94,6 +108,9 @@ class FederatedConfig:
     optimizer: str = "sgd"
     executor: str = "auto"
     num_workers: int = 0
+    codec: str = "identity"
+    codec_bits: int = 8
+    codec_k: float = 0.1
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -139,4 +156,18 @@ class FederatedConfig:
             raise ValueError(
                 "executor='parallel' needs num_workers >= 2; "
                 "use executor='serial' (or 'auto') for single-process runs"
+            )
+        from repro.comm import CODEC_NAMES
+
+        if self.codec not in CODEC_NAMES:
+            raise ValueError(
+                f"codec must be one of {CODEC_NAMES}, got {self.codec!r}"
+            )
+        if not 1 <= self.codec_bits <= 16:
+            raise ValueError(
+                f"codec_bits must be in [1, 16], got {self.codec_bits}"
+            )
+        if not 0.0 < self.codec_k <= 1.0:
+            raise ValueError(
+                f"codec_k must be a fraction in (0, 1], got {self.codec_k}"
             )

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.comm.channel import RESIDUAL_KEY, CommChannel
 from repro.grad.serialize import state_dict_to_vector, vector_to_state_dict
 
 if TYPE_CHECKING:
@@ -57,6 +58,37 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def process_upload(channel, algorithm, result, client, reference, keys) -> None:
+    """Run one result through the uplink side of the comm channel.
+
+    Mutates ``result`` in place: its state and payload become what the
+    server reconstructs after decoding, ``upload_nbytes`` records the
+    measured wire size, and an error-feedback residual (if the codec
+    keeps one) is added to ``result.client_state`` so the server commits
+    it into ``client.state`` like any other persistent per-party state.
+    Uses ``client.rng`` for stochastic codecs — its state already travels
+    between server and workers, so serial and parallel runs draw the
+    same bits.
+    """
+    residual = None
+    if channel.codec.error_feedback:
+        residual = client.state.get(RESIDUAL_KEY)
+    state, extras, nbytes, new_residual = channel.encode_upload(
+        result.state,
+        result.payload,
+        reference,
+        keys,
+        client.rng,
+        residual=residual,
+        metadata_floats=algorithm.uplink_metadata_floats(),
+    )
+    result.state = state
+    result.payload = extras
+    result.upload_nbytes = nbytes
+    if new_residual is not None:
+        result.client_state[RESIDUAL_KEY] = new_residual
+
+
 class ClientExecutor:
     """Interface: run the sampled parties' local rounds for one round."""
 
@@ -66,17 +98,31 @@ class ClientExecutor:
         algorithm: "FedAlgorithm",
         clients: "list[Client]",
         config: "FederatedConfig",
+        channel: CommChannel | None = None,
     ) -> None:
-        """Bind the run's shared objects; called once by the server."""
+        """Bind the run's shared objects; called once by the server.
+
+        ``channel`` enables uplink codec processing + byte metering; when
+        ``None`` (standalone executor use) results pass through raw.
+        """
         self.model = model
         self.algorithm = algorithm
         self.clients = clients
         self.config = config
+        self.channel = channel
 
     def run_round(
-        self, global_state: dict[str, np.ndarray], participants: Sequence[int]
+        self,
+        global_state: dict[str, np.ndarray],
+        participants: Sequence[int],
+        payload: dict | None = None,
     ) -> "list[ClientResult]":
-        """Execute local training for ``participants``, in their order."""
+        """Execute local training for ``participants``, in their order.
+
+        ``payload`` is the (already channel-encoded) broadcast extras;
+        when ``None`` the executor asks the algorithm directly, which is
+        the uncompressed pre-channel behaviour.
+        """
         raise NotImplementedError
 
     def close(self) -> None:
@@ -93,15 +139,33 @@ class SerialExecutor(ClientExecutor):
     """Run parties one after another on the server's workspace model."""
 
     def run_round(
-        self, global_state: dict[str, np.ndarray], participants: Sequence[int]
+        self,
+        global_state: dict[str, np.ndarray],
+        participants: Sequence[int],
+        payload: dict | None = None,
     ) -> "list[ClientResult]":
-        payload = self.algorithm.broadcast_payload()
-        return [
-            self.algorithm.local_update(
-                self.model, global_state, self.clients[party], self.config, payload
+        if payload is None:
+            payload = self.algorithm.broadcast_payload()
+        channel = self.channel
+        # The identity codec never transforms state, so the flat reference
+        # vector (only needed by delta-mode codecs) is built lazily.
+        keys: list[str] | None = None
+        reference: np.ndarray | None = None
+        results = []
+        for party in participants:
+            client = self.clients[party]
+            result = self.algorithm.local_update(
+                self.model, global_state, client, self.config, payload
             )
-            for party in participants
-        ]
+            if channel is not None:
+                if keys is None and not channel.codec.lossless:
+                    keys = sorted(global_state)
+                    reference = state_dict_to_vector(global_state, keys=keys)
+                process_upload(
+                    channel, self.algorithm, result, client, reference, keys
+                )
+            results.append(result)
+        return results
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -113,14 +177,15 @@ class SerialExecutor(ClientExecutor):
 class _WorkerState:
     """Everything a worker inherits at fork time (copy-on-write)."""
 
-    __slots__ = ("model", "algorithm", "clients", "config", "keys", "template")
+    __slots__ = ("model", "algorithm", "clients", "config", "keys", "channel", "template")
 
-    def __init__(self, model, algorithm, clients, config, keys):
+    def __init__(self, model, algorithm, clients, config, keys, channel):
         self.model = model
         self.algorithm = algorithm
         self.clients = clients
         self.config = config
         self.keys = keys
+        self.channel = channel
         self.template = None  # lazily cached state-dict template
 
 
@@ -144,6 +209,13 @@ def _run_task(client_index, global_vec, rng_state, client_state, payload):
     result = state.algorithm.local_update(
         state.model, global_state, client, state.config, payload
     )
+    if state.channel is not None:
+        # global_vec is exactly the flat broadcast reference delta-mode
+        # codecs need; the uplink draws from client.rng, whose advanced
+        # state returns to the parent with the result.
+        process_upload(
+            state.channel, state.algorithm, result, client, global_vec, state.keys
+        )
     return result, client.rng.bit_generator.state
 
 
@@ -185,7 +257,8 @@ class ParallelExecutor(ClientExecutor):
         global _FORK_STATE
         self._keys = sorted(global_state)
         _FORK_STATE = _WorkerState(
-            self.model, self.algorithm, self.clients, self.config, self._keys
+            self.model, self.algorithm, self.clients, self.config, self._keys,
+            self.channel,
         )
         try:
             context = multiprocessing.get_context("fork")
@@ -195,10 +268,14 @@ class ParallelExecutor(ClientExecutor):
         self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
 
     def run_round(
-        self, global_state: dict[str, np.ndarray], participants: Sequence[int]
+        self,
+        global_state: dict[str, np.ndarray],
+        participants: Sequence[int],
+        payload: dict | None = None,
     ) -> "list[ClientResult]":
         self._ensure_pool(global_state)
-        payload = self.algorithm.broadcast_payload()
+        if payload is None:
+            payload = self.algorithm.broadcast_payload()
         global_vec = state_dict_to_vector(global_state, keys=self._keys)
         pending = []
         for party in participants:

@@ -16,11 +16,17 @@ class RoundRecord:
     train_loss: float
     participants: list[int]
     #: total bytes shipped this round (both directions, all participants),
-    #: assuming float32 payloads — the paper's communication-cost axis.
+    #: measured from the encoded payloads of the run's codec
+    #: (:mod:`repro.comm`) — the paper's communication-cost axis.
     bytes_communicated: int = 0
     #: local mini-batch steps taken by each participant this round
     #: (aligned with ``participants``); feeds the wall-clock system model.
     client_steps: list[int] = field(default_factory=list)
+    #: per-direction breakdown of ``bytes_communicated`` (server->clients
+    #: and clients->server); 0 on records persisted before the breakdown
+    #: existed.
+    bytes_down: int = 0
+    bytes_up: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -30,7 +36,24 @@ class RoundRecord:
             "participants": list(self.participants),
             "bytes_communicated": self.bytes_communicated,
             "client_steps": list(self.client_steps),
+            "bytes_down": self.bytes_down,
+            "bytes_up": self.bytes_up,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundRecord":
+        """Inverse of :meth:`to_dict`; tolerant of older persisted records."""
+        accuracy = data.get("test_accuracy")
+        return cls(
+            round_index=int(data["round"]),
+            test_accuracy=None if accuracy is None else float(accuracy),
+            train_loss=float(data["train_loss"]),
+            participants=[int(p) for p in data.get("participants", [])],
+            bytes_communicated=int(data.get("bytes_communicated", 0)),
+            client_steps=[int(s) for s in data.get("client_steps", [])],
+            bytes_down=int(data.get("bytes_down", 0)),
+            bytes_up=int(data.get("bytes_up", 0)),
+        )
 
 
 @dataclass
@@ -97,6 +120,13 @@ class History:
 
     def to_dict(self) -> dict:
         return {"records": [r.to_dict() for r in self.records]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "History":
+        """Rebuild a history persisted by :meth:`to_dict` (e.g. from a
+        :class:`~repro.experiments.store.ResultStore` JSON file) so the
+        analysis accessors work on reloaded runs."""
+        return cls(records=[RoundRecord.from_dict(r) for r in data.get("records", [])])
 
     def curve(self) -> tuple[np.ndarray, np.ndarray]:
         """(rounds, accuracies) restricted to evaluated rounds."""

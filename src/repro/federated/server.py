@@ -3,14 +3,19 @@
 Round structure:
 
 1. sample a set of parties ``S_t``;
-2. broadcast the global model and run each party's local training through
-   the configured :class:`~repro.federated.executor.ClientExecutor`
-   (serially on the workspace model, or fan-out across a worker pool —
-   bitwise-identical either way);
-3. commit each result's persistent per-party state, in participant order;
-4. aggregate the results into the next global model (the algorithm's
+2. encode the broadcast (global model + algorithm extras) through the
+   run's :class:`~repro.comm.CommChannel` — the codec's decoded output is
+   what parties train from, and its measured payload bytes are what the
+   round record charges for the downlink;
+3. run each party's local training through the configured
+   :class:`~repro.federated.executor.ClientExecutor` (serially on the
+   workspace model, or fan-out across a worker pool — bitwise-identical
+   either way), which also runs every upload through the channel's
+   uplink codec and meters it;
+4. commit each result's persistent per-party state, in participant order;
+5. aggregate the results into the next global model (the algorithm's
    :meth:`aggregate`);
-5. periodically evaluate top-1 accuracy on the held-out test set.
+6. periodically evaluate top-1 accuracy on the held-out test set.
 
 The server owns a single workspace model instance; serial party training
 reloads weights into it instead of rebuilding, so CPU runs stay cheap.
@@ -23,6 +28,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.comm import CommChannel
 from repro.grad.nn.module import Module
 from repro.federated.algorithms.base import FedAlgorithm
 from repro.federated.client import Client
@@ -58,6 +64,11 @@ class FederatedServer:
         instance to share a pool across servers or to inject a custom
         backend.  Call :meth:`close` (or use the server as a context
         manager) to release pooled workers.
+    channel:
+        Communication channel applying the run's update-compression
+        codec and measuring payload bytes (see :mod:`repro.comm`).
+        Defaults to whatever ``config`` asks for (``config.codec`` and
+        friends); pass an instance to inject a custom codec.
     """
 
     def __init__(
@@ -69,6 +80,7 @@ class FederatedServer:
         test_dataset=None,
         round_callback: Callable[[int, "FederatedServer"], None] | None = None,
         executor: ClientExecutor | None = None,
+        channel: CommChannel | None = None,
     ):
         if not clients:
             raise ValueError("need at least one client")
@@ -91,10 +103,12 @@ class FederatedServer:
             )
             self._stratified = StratifiedSampler(counts)
         algorithm.prepare(model, clients, config)
+        self.channel = channel if channel is not None else CommChannel.from_config(config)
+        self._comm_keys = sorted(self.global_state)
         # The executor binds after prepare() so forked workers inherit the
         # algorithm's cached key structure with the rest of the snapshot.
         self.executor = executor if executor is not None else make_executor(config)
-        self.executor.setup(model, algorithm, clients, config)
+        self.executor.setup(model, algorithm, clients, config, channel=self.channel)
 
     @property
     def num_parties(self) -> int:
@@ -111,7 +125,14 @@ class FederatedServer:
                 self.num_parties, self.config.sample_fraction, self._sampler_rng
             )
         participants = [int(p) for p in participants]
-        results = self.executor.run_round(self.global_state, participants)
+        # Downlink: encode the broadcast through the comm channel; what
+        # clients train from is what they would decode off the wire, and
+        # the per-client byte cost is measured from the encoded payloads.
+        extras = self.algorithm.broadcast_payload()
+        broadcast_state, extras, down_per_client = self.channel.broadcast(
+            self.global_state, extras, self._comm_keys
+        )
+        results = self.executor.run_round(broadcast_state, participants, extras)
         # Commit persistent per-party state (SCAFFOLD c_i, local BN) in
         # participant order, then aggregate over the same ordering — the
         # two invariants that keep parallel runs bitwise-equal to serial.
@@ -126,14 +147,17 @@ class FederatedServer:
             (round_index + 1) % self.config.eval_every == 0
         ):
             accuracy = self.evaluate()
-        down, up = self.algorithm.round_payload_floats()
+        bytes_down = down_per_client * len(participants)
+        bytes_up = sum(r.upload_nbytes for r in results)
         record = RoundRecord(
             round_index=round_index,
             test_accuracy=accuracy,
             train_loss=float(np.mean([r.mean_loss for r in results])),
             participants=participants,
-            bytes_communicated=4 * (down + up) * len(participants),
+            bytes_communicated=bytes_down + bytes_up,
             client_steps=[r.num_steps for r in results],
+            bytes_down=bytes_down,
+            bytes_up=bytes_up,
         )
         self.history.append(record)
         if self.round_callback is not None:

@@ -1,0 +1,167 @@
+"""CommChannel tests: pass-through metering, delta streams, residuals."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommChannel, RESIDUAL_KEY, make_codec
+from repro.comm.channel import _extras_floats, _state_floats
+from repro.federated import FederatedConfig
+from repro.grad.serialize import state_dict_to_vector
+
+pytestmark = pytest.mark.comm
+
+
+def toy_state(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "w": rng.standard_normal((4, 3)).astype(np.float32),
+        "b": rng.standard_normal(3).astype(np.float32),
+    }
+
+
+KEYS = ["b", "w"]
+
+
+def client_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestIdentityPassThrough:
+    def test_broadcast_returns_the_same_objects(self):
+        channel = CommChannel(make_codec("identity"))
+        state = toy_state()
+        extras = {"control": np.ones(5, dtype=np.float64)}
+        state_out, extras_out, nbytes = channel.broadcast(state, extras, KEYS)
+        assert state_out is state
+        assert extras_out is extras
+        assert nbytes == 4 * (_state_floats(state) + 5)
+
+    def test_upload_passthrough_with_metadata(self):
+        channel = CommChannel(make_codec("identity"))
+        state = toy_state()
+        state_out, extras_out, nbytes, residual = channel.encode_upload(
+            state, {}, None, None, client_rng(), metadata_floats=1
+        )
+        assert state_out is state
+        assert residual is None
+        assert nbytes == 4 * _state_floats(state) + 4
+
+    def test_float64_extras_survive_bitwise(self):
+        # SCAFFOLD's control variates are float64; identity must not cast.
+        channel = CommChannel(make_codec("identity"))
+        extras = {"c": [np.full(3, 1 / 3), np.full(2, 1 / 7)]}
+        out, nbytes = channel.encode_extras(extras, client_rng())
+        assert out is extras
+        assert out["c"][0].dtype == np.float64
+        assert nbytes == 4 * 5
+
+
+class TestLossyDownlink:
+    def test_float16_broadcast_quantizes_and_meters(self):
+        channel = CommChannel(make_codec("float16"))
+        state = toy_state()
+        state_out, _, nbytes = channel.broadcast(state, {}, KEYS)
+        expected = state["w"].astype(np.float16).astype(np.float32)
+        np.testing.assert_array_equal(state_out["w"], expected)
+        assert nbytes == 2 * _state_floats(state)
+
+    def test_incremental_broadcast_warm_start_is_dense(self):
+        channel = CommChannel(make_codec("topk", k=0.1))
+        state = toy_state()
+        floats = _state_floats(state)
+        state_out, _, first = channel.broadcast(state, {}, KEYS)
+        np.testing.assert_array_equal(state_out["w"], state["w"])
+        assert first == 4 * floats
+        _, _, second = channel.broadcast(toy_state(seed=1), {}, KEYS)
+        count = max(1, int(round(0.1 * floats)))
+        assert second == count * 8 < first
+
+    def test_incremental_residual_carries_dropped_mass(self):
+        channel = CommChannel(make_codec("topk", k=0.1))
+        channel.broadcast(toy_state(), {}, KEYS)
+        channel.broadcast(toy_state(seed=1), {}, KEYS)
+        assert channel._down_residual is not None
+        assert np.abs(channel._down_residual).sum() > 0
+
+    def test_stochastic_downlink_uses_server_rng(self):
+        a = CommChannel(make_codec("qsgd", bits=4), seed=5)
+        b = CommChannel(make_codec("qsgd", bits=4), seed=5)
+        state = toy_state()
+        out_a, _, _ = a.broadcast(state, {}, KEYS)
+        out_b, _, _ = b.broadcast(state, {}, KEYS)
+        np.testing.assert_array_equal(out_a["w"], out_b["w"])
+
+
+class TestLossyUplink:
+    def test_on_delta_reconstruction(self):
+        channel = CommChannel(make_codec("qsgd", bits=8))
+        codec = channel.codec
+        state = toy_state(seed=2)
+        reference = state_dict_to_vector(toy_state(seed=3), keys=KEYS)
+        state_out, _, _, _ = channel.encode_upload(
+            state, {}, reference, KEYS, client_rng(4)
+        )
+        target = reference - state_dict_to_vector(state, keys=KEYS)
+        decoded = codec.decode(codec.encode(target, client_rng(4)))
+        expected = reference - decoded
+        np.testing.assert_array_equal(
+            state_dict_to_vector(state_out, keys=KEYS), expected
+        )
+
+    def test_error_feedback_residual_loop(self):
+        channel = CommChannel(make_codec("topk", k=0.2))
+        state = toy_state(seed=2)
+        reference = state_dict_to_vector(toy_state(seed=3), keys=KEYS)
+        _, _, _, residual = channel.encode_upload(
+            state, {}, reference, KEYS, client_rng()
+        )
+        assert residual is not None and np.abs(residual).sum() > 0
+        # Feeding the residual back shifts what gets encoded next time.
+        out_without, _, _, _ = channel.encode_upload(
+            state, {}, reference, KEYS, client_rng()
+        )
+        out_with, _, _, _ = channel.encode_upload(
+            state, {}, reference, KEYS, client_rng(), residual=residual * 100
+        )
+        assert any(
+            not np.array_equal(out_without[k], out_with[k]) for k in KEYS
+        )
+
+    def test_extras_metered_dense_under_sparsifiers(self):
+        channel = CommChannel(make_codec("topk", k=0.1))
+        extras = {"c": [np.ones(7)], "tau": 3.0}
+        out, nbytes = channel.encode_extras(extras, client_rng())
+        assert out is extras
+        assert nbytes == 4 * _extras_floats(extras) == 4 * 8
+
+    def test_extras_roundtripped_under_float16(self):
+        channel = CommChannel(make_codec("float16"))
+        extras = {"c": np.full((2, 3), 1 / 3, dtype=np.float32), "tau": 3.0}
+        out, nbytes = channel.encode_extras(extras, client_rng())
+        assert out["c"].shape == (2, 3)
+        np.testing.assert_array_equal(
+            out["c"], extras["c"].astype(np.float16).astype(np.float32)
+        )
+        assert out["tau"] == 3.0
+        assert nbytes == 2 * 6 + 4
+
+
+class TestFromConfig:
+    def test_codec_knobs_flow_from_config(self):
+        config = FederatedConfig(codec="qsgd", codec_bits=6)
+        channel = CommChannel.from_config(config)
+        assert channel.codec.bits == 6
+
+    def test_config_rejects_unknown_codec(self):
+        with pytest.raises(ValueError, match="codec"):
+            FederatedConfig(codec="gzip")
+
+    def test_config_validates_knob_ranges(self):
+        with pytest.raises(ValueError, match="codec_bits"):
+            FederatedConfig(codec_bits=0)
+        with pytest.raises(ValueError, match="codec_k"):
+            FederatedConfig(codec_k=0.0)
+
+    def test_residual_key_is_stable(self):
+        # Persisted client state depends on this spelling.
+        assert RESIDUAL_KEY == "comm_residual"

@@ -1,0 +1,167 @@
+"""Codec unit tests: round-trips, measured sizes, determinism, registry."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CODEC_NAMES,
+    Float16Codec,
+    IdentityCodec,
+    QSGDCodec,
+    RandKCodec,
+    TopKCodec,
+    make_codec,
+)
+
+pytestmark = pytest.mark.comm
+
+
+def vector(size=257, seed=3):
+    return np.random.default_rng(seed).standard_normal(size).astype(np.float32)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", CODEC_NAMES)
+    def test_every_name_constructs(self, name):
+        codec = make_codec(name)
+        assert codec.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown codec"):
+            make_codec("gzip")
+
+    def test_knobs_reach_the_right_codec(self):
+        assert make_codec("qsgd", bits=4).bits == 4
+        assert make_codec("topk", k=0.25).k == 0.25
+        assert make_codec("randk", k=0.5).k == 0.5
+
+    def test_case_insensitive(self):
+        assert isinstance(make_codec("TopK"), TopKCodec)
+
+
+class TestIdentity:
+    def test_bitwise_roundtrip_and_float32_bytes(self):
+        v = vector()
+        codec = IdentityCodec()
+        payload = codec.encode(v)
+        np.testing.assert_array_equal(codec.decode(payload), v)
+        assert payload.nbytes == 4 * v.size
+        assert codec.lossless
+
+
+class TestFloat16:
+    def test_halves_the_wire(self):
+        v = vector()
+        payload = Float16Codec().encode(v)
+        assert payload.nbytes == 2 * v.size
+
+    def test_roundtrip_is_half_precision(self):
+        v = vector()
+        decoded = Float16Codec().decode(Float16Codec().encode(v))
+        np.testing.assert_array_equal(decoded, v.astype(np.float16).astype(np.float32))
+
+    def test_deterministic_without_rng(self):
+        v = vector()
+        a = Float16Codec().encode(v)
+        b = Float16Codec().encode(v)
+        np.testing.assert_array_equal(a.data["values"], b.data["values"])
+
+
+class TestQSGD:
+    def test_needs_rng(self):
+        with pytest.raises(ValueError, match="Generator"):
+            QSGDCodec().encode(vector())
+
+    @pytest.mark.parametrize("bits", [0, 17, -3])
+    def test_bits_validated(self, bits):
+        with pytest.raises(ValueError, match="bits"):
+            QSGDCodec(bits=bits)
+
+    def test_wire_bytes_measure_packed_bits(self):
+        v = vector(size=1000)
+        for bits in (1, 4, 8, 16):
+            payload = QSGDCodec(bits=bits).encode(v, np.random.default_rng(0))
+            assert payload.nbytes == (1000 * (bits + 1) + 7) // 8 + 4
+
+    def test_same_rng_state_same_payload(self):
+        v = vector()
+        codec = QSGDCodec(bits=4)
+        a = codec.encode(v, np.random.default_rng(11))
+        b = codec.encode(v, np.random.default_rng(11))
+        np.testing.assert_array_equal(a.data["q"], b.data["q"])
+        assert a.data["scale"] == b.data["scale"]
+
+    def test_stochastic_rounding_is_unbiased(self):
+        v = vector(size=64)
+        codec = QSGDCodec(bits=2)
+        rng = np.random.default_rng(5)
+        decoded = np.mean(
+            [codec.decode(codec.encode(v, rng)) for _ in range(600)], axis=0
+        )
+        np.testing.assert_allclose(decoded, v, atol=0.05)
+
+    def test_decode_stays_within_scale(self):
+        v = vector()
+        codec = QSGDCodec(bits=3)
+        decoded = codec.decode(codec.encode(v, np.random.default_rng(0)))
+        assert np.max(np.abs(decoded)) <= np.max(np.abs(v)) * (1 + 1e-6)
+
+    def test_zero_vector(self):
+        codec = QSGDCodec(bits=8)
+        payload = codec.encode(np.zeros(10, dtype=np.float32), np.random.default_rng(0))
+        np.testing.assert_array_equal(codec.decode(payload), np.zeros(10))
+
+
+class TestSparsifiers:
+    @pytest.mark.parametrize("k", [0.0, -0.1, 1.5])
+    def test_k_validated(self, k):
+        with pytest.raises(ValueError, match="fraction"):
+            TopKCodec(k=k)
+
+    def test_topk_keeps_largest_magnitudes(self):
+        v = np.array([0.1, -5.0, 0.2, 3.0, -0.3], dtype=np.float32)
+        payload = TopKCodec(k=0.4).encode(v)
+        decoded = TopKCodec(k=0.4).decode(payload)
+        np.testing.assert_array_equal(
+            decoded, np.array([0.0, -5.0, 0.0, 3.0, 0.0], dtype=np.float32)
+        )
+
+    def test_sparse_wire_bytes(self):
+        v = vector(size=1000)
+        payload = TopKCodec(k=0.1).encode(v)
+        assert payload.nbytes == 100 * (4 + 4)  # value + int32 index per entry
+
+    def test_k_one_keeps_everything(self):
+        v = vector()
+        decoded = TopKCodec(k=1.0).decode(TopKCodec(k=1.0).encode(v))
+        np.testing.assert_array_equal(decoded, v)
+
+    def test_at_least_one_entry_survives(self):
+        payload = TopKCodec(k=0.001).encode(vector(size=10))
+        assert payload.data["indices"].size == 1
+
+    def test_randk_needs_rng(self):
+        with pytest.raises(ValueError, match="Generator"):
+            RandKCodec().encode(vector())
+
+    def test_randk_same_rng_state_same_support(self):
+        v = vector()
+        a = RandKCodec(k=0.2).encode(v, np.random.default_rng(9))
+        b = RandKCodec(k=0.2).encode(v, np.random.default_rng(9))
+        np.testing.assert_array_equal(a.data["indices"], b.data["indices"])
+
+    def test_randk_decode_matches_support(self):
+        v = vector()
+        codec = RandKCodec(k=0.3)
+        payload = codec.encode(v, np.random.default_rng(2))
+        decoded = codec.decode(payload)
+        np.testing.assert_array_equal(decoded[payload.data["indices"]],
+                                      v[payload.data["indices"]])
+        mask = np.ones(v.size, dtype=bool)
+        mask[payload.data["indices"]] = False
+        assert not decoded[mask].any()
+
+    def test_error_feedback_flag(self):
+        assert TopKCodec().error_feedback
+        assert RandKCodec().error_feedback
+        assert not QSGDCodec().error_feedback

@@ -1,0 +1,75 @@
+"""Tests for the accuracy-vs-communication sweep."""
+
+import pytest
+
+from repro.experiments.comm import (
+    DEFAULT_CODECS,
+    _label,
+    _normalize_spec,
+    communication_sweep,
+)
+from repro.experiments.scale import SMOKE
+
+pytestmark = pytest.mark.comm
+
+
+class TestSpecs:
+    def test_names_and_dicts_accepted(self):
+        assert _normalize_spec("identity") == {"codec": "identity"}
+        assert _normalize_spec({"codec": "qsgd", "codec_bits": 4}) == {
+            "codec": "qsgd",
+            "codec_bits": 4,
+        }
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            _normalize_spec("gzip")
+
+    def test_stray_keys_rejected(self):
+        with pytest.raises(ValueError, match="spec keys"):
+            _normalize_spec({"codec": "topk", "lr": 0.1})
+
+    def test_labels_carry_the_knob(self):
+        assert _label({"codec": "identity"}) == "identity"
+        assert _label({"codec": "qsgd", "codec_bits": 4}) == "qsgd(4b)"
+        assert _label({"codec": "topk", "codec_k": 0.1}) == "topk(k=0.1)"
+
+    def test_default_ladder_is_valid(self):
+        for spec in DEFAULT_CODECS:
+            _normalize_spec(spec)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return communication_sweep(
+            "adult",
+            "iid",
+            "fedavg",
+            codecs=("identity", {"codec": "topk", "codec_k": 0.1}),
+            preset=SMOKE,
+            seed=3,
+        )
+
+    def test_one_history_per_codec(self, sweep):
+        assert set(sweep.histories) == {"identity", "topk(k=0.1)"}
+
+    def test_lossy_entry_costs_fewer_megabytes(self, sweep):
+        totals = sweep.total_megabytes()
+        assert totals["topk(k=0.1)"] < totals["identity"]
+        ratios = sweep.compression_ratios()
+        assert ratios["identity"] == 1.0
+        assert ratios["topk(k=0.1)"] < 1.0
+
+    def test_chart_and_text_render(self, sweep):
+        chart = sweep.chart()
+        assert "MB" in chart
+        text = sweep.to_text()
+        assert "identity" in text and "fedavg" in text
+
+    def test_ratio_needs_identity_baseline(self):
+        result = communication_sweep(
+            "adult", "iid", "fedavg", codecs=("float16",), preset=SMOKE, seed=3
+        )
+        with pytest.raises(ValueError, match="identity"):
+            result.compression_ratios()

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.experiments.plotting import line_chart, sparkline
+from repro.experiments.plotting import (
+    accuracy_vs_bytes_chart,
+    line_chart,
+    sparkline,
+    xy_chart,
+)
 
 
 class TestSparkline:
@@ -64,3 +69,63 @@ class TestLineChart:
         chart = line_chart({"a": [0.0, 1.0]}, height=5, width=20)
         # 5 rows + axis + x-label + legend = 8 lines.
         assert len(chart.splitlines()) == 8
+
+
+class TestXYChart:
+    def test_empty(self):
+        assert xy_chart({}) == "(no series)"
+
+    def test_points_land_at_their_x(self):
+        # Two points at the same y but x apart: marker at both column ends.
+        chart = xy_chart({"a": ([0.0, 10.0], [1.0, 1.0])}, height=4, width=21)
+        rows = chart.splitlines()
+        assert any(row.endswith("|o" + " " * 19 + "o") for row in rows)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            xy_chart({"a": ([1.0, 2.0], [1.0])})
+
+    def test_x_range_in_label(self):
+        chart = xy_chart({"a": ([2.0, 8.0], [0.1, 0.9])}, x_label="MB")
+        assert "MB: 2 .. 8" in chart
+
+    def test_nan_points_dropped(self):
+        chart = xy_chart({"a": ([1.0, np.nan, 3.0], [0.1, 0.5, 0.9])})
+        assert "o=a" in chart
+
+    def test_series_at_different_x_share_an_axis(self):
+        chart = xy_chart({"a": ([0.0, 1.0], [0.0, 0.5]), "b": ([0.0, 2.0], [0.0, 1.0])})
+        assert "o=a" in chart and "x=b" in chart
+
+
+class TestAccuracyVsBytes:
+    def make_history(self, accs, bytes_per_round):
+        from repro.federated.history import History, RoundRecord
+
+        history = History()
+        for i, acc in enumerate(accs):
+            history.append(
+                RoundRecord(
+                    i, acc, train_loss=1.0, participants=[0],
+                    bytes_communicated=bytes_per_round,
+                )
+            )
+        return history
+
+    def test_x_axis_is_cumulative_megabytes(self):
+        history = self.make_history([0.2, 0.4, 0.6], bytes_per_round=2_000_000)
+        chart = accuracy_vs_bytes_chart({"fedavg": history})
+        assert "MB: 2 .. 6" in chart
+
+    def test_cheaper_codec_shifts_curve_left(self):
+        dense = self.make_history([0.2, 0.6], bytes_per_round=4_000_000)
+        sparse = self.make_history([0.2, 0.6], bytes_per_round=1_000_000)
+        chart = accuracy_vs_bytes_chart({"dense": dense, "sparse": sparse}, width=40)
+        top_row = chart.splitlines()[0]
+        # Both reach 0.6; the sparse run's marker sits further left.
+        assert top_row.index("x") < top_row.index("o")
+
+    def test_skipped_evals_dropped(self):
+        history = self.make_history([0.2, None, 0.6], bytes_per_round=1_000_000)
+        chart = accuracy_vs_bytes_chart({"a": history})
+        assert "o=a" in chart

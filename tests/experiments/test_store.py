@@ -63,6 +63,26 @@ class TestResultStore:
         entries = store.query(algorithm="fedavg")
         assert len(entries) == 2
 
+    def test_histories_reload_with_measured_bytes(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(outcome)
+        (history,) = store.histories(dataset="adult")
+        assert [r.to_dict() for r in history.records] == [
+            r.to_dict() for r in outcome.history.records
+        ]
+        assert (
+            history.cumulative_communication()[-1]
+            == outcome.history.cumulative_communication()[-1]
+        )
+
+    def test_codec_config_persisted(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(outcome)
+        config = store.records()[0]["config"]
+        assert config["codec"] == "identity"
+        assert config["codec_bits"] == 8
+        assert config["codec_k"] == 0.1
+
     def test_partition_names_sanitized(self, tmp_path):
         store = ResultStore(tmp_path)
         out = run_federated_experiment("adult", "dir(0.5)", "fedavg", preset=SMOKE, seed=1)

@@ -223,6 +223,44 @@ class TestHistory:
         data = h.to_dict()
         assert data["records"][0]["test_accuracy"] == 0.5
 
+    def test_from_dict_json_roundtrip(self):
+        import json
+
+        h = History()
+        h.append(
+            RoundRecord(
+                0, 0.5, train_loss=1.25, participants=[0, 2],
+                bytes_communicated=1000, client_steps=[3, 4],
+                bytes_down=600, bytes_up=400,
+            )
+        )
+        h.append(RoundRecord(1, None, train_loss=1.0, participants=[1]))
+        reloaded = History.from_dict(json.loads(json.dumps(h.to_dict())))
+        assert [r.to_dict() for r in reloaded.records] == [
+            r.to_dict() for r in h.records
+        ]
+        np.testing.assert_array_equal(
+            reloaded.cumulative_communication(), h.cumulative_communication()
+        )
+
+    def test_from_dict_tolerates_records_without_byte_split(self):
+        # Stores written before bytes_down/bytes_up existed must reload.
+        data = {
+            "records": [
+                {
+                    "round": 0,
+                    "test_accuracy": 0.4,
+                    "train_loss": 1.0,
+                    "participants": [0],
+                    "bytes_communicated": 80,
+                    "client_steps": [2],
+                }
+            ]
+        }
+        record = History.from_dict(data).records[0]
+        assert record.bytes_communicated == 80
+        assert record.bytes_down == 0 and record.bytes_up == 0
+
 
 class TestEvaluation:
     def test_perfect_model(self, rng):

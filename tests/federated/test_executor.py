@@ -175,6 +175,53 @@ class TestExecutorLifecycle:
         server.close()
 
 
+@needs_fork
+@pytest.mark.parallel
+@pytest.mark.comm
+class TestCodecDeterminism:
+    """Lossy codecs must not break serial/parallel bitwise equality: the
+    uplink draws from each client's generator and residuals travel the
+    same ``client_state`` commit path as every other per-party state."""
+
+    @pytest.mark.parametrize(
+        "codec_kwargs",
+        [
+            dict(codec="float16"),
+            dict(codec="qsgd", codec_bits=4),
+            dict(codec="topk", codec_k=0.1),
+            dict(codec="randk", codec_k=0.1),
+        ],
+        ids=lambda kw: kw["codec"],
+    )
+    def test_lossy_codecs_identical_across_worker_counts(self, codec_kwargs):
+        reference = make_server(FedAvg(), num_workers=0, **codec_kwargs)
+        run_to_completion(reference)
+        for workers in (2, 4):
+            server = make_server(FedAvg(), num_workers=workers, **codec_kwargs)
+            run_to_completion(server)
+            assert_same_run(reference, server)
+
+    def test_scaffold_with_quantized_wire_matches(self):
+        reference = make_server(Scaffold(), num_workers=0, codec="qsgd", codec_bits=8)
+        run_to_completion(reference)
+        server = make_server(Scaffold(), num_workers=2, codec="qsgd", codec_bits=8)
+        run_to_completion(server)
+        assert_same_run(reference, server)
+
+    def test_error_feedback_residual_committed_from_workers(self):
+        from repro.comm import RESIDUAL_KEY
+
+        reference = make_server(FedAvg(), num_workers=0, codec="topk", codec_k=0.2)
+        run_to_completion(reference)
+        server = make_server(FedAvg(), num_workers=2, codec="topk", codec_k=0.2)
+        run_to_completion(server)
+        for ref_client, client in zip(reference.clients, server.clients):
+            assert RESIDUAL_KEY in client.state
+            np.testing.assert_array_equal(
+                ref_client.state[RESIDUAL_KEY], client.state[RESIDUAL_KEY]
+            )
+
+
 class TestPurityContract:
     def test_client_round_wrapper_commits_state(self):
         # The compatibility wrapper = local_update + commit.

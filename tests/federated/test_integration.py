@@ -56,7 +56,6 @@ class TestDriftMechanism:
     def test_weight_divergence_larger_under_label_skew(self):
         from repro.data import load_dataset
         from repro.federated import FedAvg, FederatedConfig, make_clients
-        from repro.federated.algorithms.base import ClientResult
         from repro.metrics import pairwise_weight_divergence
         from repro.models import build_model
         from repro.partition import parse_strategy

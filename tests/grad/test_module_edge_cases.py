@@ -1,7 +1,6 @@
 """Edge cases of the Module registry: reassignment, shared modules, nesting."""
 
 import numpy as np
-import pytest
 
 from repro.grad import Tensor, nn
 from repro.grad.nn.module import Module, Parameter

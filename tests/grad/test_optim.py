@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.grad import Tensor, nn
+from repro.grad import nn
 from repro.grad.nn.module import Parameter
 from repro.grad.optim import SGD
 

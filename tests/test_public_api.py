@@ -22,8 +22,12 @@ PUBLIC_MODULES = [
     "repro.federated",
     "repro.federated.privacy",
     "repro.federated.systems",
+    "repro.comm",
+    "repro.comm.codecs",
+    "repro.comm.channel",
     "repro.metrics",
     "repro.experiments",
+    "repro.experiments.comm",
     "repro.experiments.table3",
     "repro.experiments.leaderboard",
     "repro.experiments.store",
