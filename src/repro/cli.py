@@ -114,6 +114,39 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         "--codec-k", type=float, default=0.1,
         help="kept fraction in (0, 1] for the topk/randk codecs",
     )
+    parser.add_argument(
+        "--dropout-prob", type=float, default=0.0,
+        help="per-party per-round probability of dropping out",
+    )
+    parser.add_argument(
+        "--straggler-prob", type=float, default=0.0,
+        help="per-party per-round probability of running slow",
+    )
+    parser.add_argument(
+        "--straggler-factor", type=float, default=1.0,
+        help="straggler slowdown multiple (>= 1; fault-free round = 1.0)",
+    )
+    parser.add_argument(
+        "--crash-prob", type=float, default=0.0,
+        help="per-party per-round probability of crashing mid-training",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="round deadline in fault-free-round units; stragglers "
+             "slower than this are dropped before dispatch",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="write a run checkpoint every k rounds (0 = never)",
+    )
+    parser.add_argument(
+        "--checkpoint-path", default=None,
+        help="where periodic checkpoints are written",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="CHECKPOINT",
+        help="resume a run from this checkpoint file",
+    )
     parser.add_argument("--preset", default="bench", choices=sorted(PRESETS))
     parser.add_argument("--init-seed", type=int, default=0)
     parser.add_argument(
@@ -142,6 +175,14 @@ def _experiment_kwargs(args) -> dict:
         codec=args.codec,
         codec_bits=args.codec_bits,
         codec_k=args.codec_k,
+        dropout_prob=args.dropout_prob,
+        straggler_prob=args.straggler_prob,
+        straggler_factor=args.straggler_factor,
+        crash_prob=args.crash_prob,
+        deadline=args.deadline,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_path,
+        resume=args.resume,
         algorithm_kwargs=algorithm_kwargs,
     )
 
@@ -150,10 +191,16 @@ def cmd_run(args) -> int:
     outcome = run_federated_experiment(seed=args.init_seed, **_experiment_kwargs(args))
     for record in outcome.history.records:
         accuracy = "-" if record.test_accuracy is None else f"{record.test_accuracy:.4f}"
-        print(
+        line = (
             f"round {record.round_index:3d}  acc {accuracy}  "
             f"loss {record.train_loss:.4f}  parties {len(record.participants)}"
         )
+        if record.dropped:
+            line += f"  dropped {len(record.dropped)}"
+        print(line)
+    total_dropped = int(outcome.history.dropped_counts.sum())
+    if total_dropped:
+        print(f"dropped parties: {total_dropped} across the run")
     print(f"final accuracy: {outcome.final_accuracy:.4f}")
     print(f"best accuracy:  {outcome.best_accuracy:.4f}")
     mb = outcome.history.cumulative_communication()[-1] / 1e6
@@ -172,6 +219,10 @@ def cmd_trials(args) -> int:
     dataset = kwargs.pop("dataset")
     partition = kwargs.pop("partition")
     algorithm = kwargs.pop("algorithm")
+    # One checkpoint file cannot serve several seeds; trials run clean.
+    kwargs.pop("resume", None)
+    kwargs.pop("checkpoint_every", None)
+    kwargs.pop("checkpoint_path", None)
     summary = run_trials(
         dataset,
         partition,

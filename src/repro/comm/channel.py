@@ -212,6 +212,35 @@ class CommChannel:
                 out[key] = value
         return out, nbytes
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Mutable transport state a run checkpoint must carry.
+
+        Covers the downlink generator (stochastic codecs) and the
+        incremental-broadcast reference/residual (error-feedback codecs)
+        so a resumed run's wire stream is bitwise identical to the
+        uninterrupted one.
+        """
+        return {
+            "down_rng": self._down_rng.bit_generator.state,
+            "down_reference": (
+                None if self._down_reference is None else self._down_reference.copy()
+            ),
+            "down_residual": (
+                None if self._down_residual is None else self._down_residual.copy()
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`checkpoint_state`."""
+        self._down_rng.bit_generator.state = state["down_rng"]
+        reference = state["down_reference"]
+        residual = state["down_residual"]
+        self._down_reference = None if reference is None else np.asarray(reference).copy()
+        self._down_residual = None if residual is None else np.asarray(residual).copy()
+
     def _roundtrip_array(
         self, array: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, int]:

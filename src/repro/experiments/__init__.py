@@ -19,6 +19,7 @@ from repro.experiments.leaderboard import Leaderboard
 from repro.experiments.centralized import centralized_reference, train_centralized
 from repro.experiments.sweeps import SweepResult, sweep
 from repro.experiments.comm import CommSweepResult, communication_sweep
+from repro.experiments.faults import DropoutSweepResult, dropout_sweep
 from repro.experiments import scale
 
 __all__ = [
@@ -35,5 +36,7 @@ __all__ = [
     "SweepResult",
     "communication_sweep",
     "CommSweepResult",
+    "dropout_sweep",
+    "DropoutSweepResult",
     "scale",
 ]

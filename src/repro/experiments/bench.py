@@ -181,6 +181,46 @@ def bench_codecs(size: int = 131072, repeats: int = 3, seed: int = 0) -> list[di
     return rows
 
 
+#: dropout levels benchmarked; 0.0 is the fault-free accuracy baseline
+BENCH_DROPOUT_PROBS = (0.0, 0.2, 0.4)
+
+
+def bench_dropout(num_rounds: int = 4, seed: int = 0) -> list[dict]:
+    """Accuracy under client dropout: the robustness-vs-loss trade-off.
+
+    Runs the bench fixture for a few rounds at each dropout level with
+    partial participation (so over-sampling engages) and reports final
+    accuracy next to the parties actually dropped — the degradation
+    column a fault-model change moves.
+    """
+    from repro.data import load_dataset
+
+    rows = []
+    for prob in BENCH_DROPOUT_PROBS:
+        model, clients = _build_fixture(seed=seed)
+        _, test, _ = load_dataset("mnist", n_train=640, n_test=64, seed=seed)
+        config = _config(
+            num_rounds=num_rounds,
+            sample_fraction=0.5,
+            dropout_prob=prob,
+        )
+        with FederatedServer(
+            model, FedAvg(), clients, config, test_dataset=test
+        ) as server:
+            history = server.fit()
+        rows.append(
+            {
+                "dropout_prob": prob,
+                "final_accuracy": round(history.final_accuracy, 4),
+                "dropped_total": int(history.dropped_counts.sum()),
+                "mean_completed": round(
+                    float(np.mean([len(r.participants) for r in history.records])), 2
+                ),
+            }
+        )
+    return rows
+
+
 def bench_round_bytes(seed: int = 0) -> list[dict]:
     """Measured bytes one federated round transmits under each codec.
 
@@ -261,6 +301,7 @@ def run_benchmarks(
         ],
         "codec_throughput": bench_codecs(repeats=max(repeats, 3), seed=seed),
         "round_bytes": bench_round_bytes(seed=seed),
+        "accuracy_under_dropout": bench_dropout(seed=seed),
     }
     serial = next(
         (r for r in report["federated_round"] if r["num_workers"] == 0), None

@@ -100,6 +100,14 @@ def run_federated_experiment(
     codec: str = "identity",
     codec_bits: int = 8,
     codec_k: float = 0.1,
+    dropout_prob: float = 0.0,
+    straggler_prob: float = 0.0,
+    straggler_factor: float = 1.0,
+    crash_prob: float = 0.0,
+    deadline: float | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_path: str | None = None,
+    resume: str | None = None,
     seed: int = 0,
     algorithm_kwargs: dict | None = None,
     dataset_kwargs: dict | None = None,
@@ -130,6 +138,14 @@ def run_federated_experiment(
         Update-compression codec for both transport directions (see
         :mod:`repro.comm`); the default ``identity`` is the paper's
         uncompressed float32 wire.
+    dropout_prob / straggler_prob / straggler_factor / crash_prob / deadline:
+        Fault model knobs (see :mod:`repro.federated.faults`); all zero /
+        ``None`` by default, i.e. the fault-free synchronous protocol.
+    checkpoint_every / checkpoint_path:
+        Write a full run checkpoint to ``checkpoint_path`` every k rounds.
+    resume:
+        Path of a checkpoint to load before training; the run continues
+        from the checkpointed round and only executes the remaining ones.
     seed:
         Controls dataset generation, partition draw, model init, sampling
         and local shuffling — two runs with equal arguments are identical.
@@ -167,13 +183,25 @@ def run_federated_experiment(
         codec=codec,
         codec_bits=codec_bits,
         codec_k=codec_k,
+        dropout_prob=dropout_prob,
+        straggler_prob=straggler_prob,
+        straggler_factor=straggler_factor,
+        crash_prob=crash_prob,
+        deadline=deadline,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
         eval_every=eval_every,
         seed=seed + 41,
     )
     net = build_model(model, info, seed=seed + 53)
     algo = make_algorithm(algorithm, **(algorithm_kwargs or {}))
     with FederatedServer(net, algo, clients, config, test_dataset=test) as server:
-        history = server.fit()
+        if resume is not None:
+            server.resume(resume)
+            remaining = max(0, config.num_rounds - len(server.history))
+            history = server.fit(remaining)
+        else:
+            history = server.fit()
 
     return ExperimentOutcome(
         dataset=info.name,

@@ -30,9 +30,11 @@ from repro.federated.evaluation import evaluate_accuracy, evaluate_per_party
 from repro.federated.executor import (
     ClientExecutor,
     ParallelExecutor,
+    RoundExecution,
     SerialExecutor,
     make_executor,
 )
+from repro.federated.faults import FaultModel, InjectedCrash, PartyFault
 from repro.federated.privacy import DifferentialPrivacy, approximate_epsilon
 from repro.federated.systems import SystemModel
 from repro.federated.sampling import StratifiedSampler, sample_parties
@@ -58,7 +60,11 @@ __all__ = [
     "ClientExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "RoundExecution",
     "make_executor",
+    "FaultModel",
+    "PartyFault",
+    "InjectedCrash",
     "DifferentialPrivacy",
     "approximate_epsilon",
     "SystemModel",

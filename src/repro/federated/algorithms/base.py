@@ -147,6 +147,22 @@ class FedAlgorithm:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Server-side mutable algorithm state a run checkpoint must carry.
+
+        The FedAvg family is stateless server-side; SCAFFOLD (global
+        control variate) and FedOpt (optimizer moments) override both
+        hooks.  Returned values must be deep copies — checkpoints may
+        outlive the run that produced them.
+        """
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`checkpoint_state`; called after :meth:`prepare`."""
+
+    # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
     def load_global_into(

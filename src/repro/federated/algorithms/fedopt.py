@@ -101,5 +101,23 @@ class FedOpt(FedAvg):
             new_state[key] = averaged[key]
         return new_state
 
+    def checkpoint_state(self) -> dict:
+        def copied(buf):
+            return None if buf is None else {k: v.copy() for k, v in buf.items()}
+
+        return {
+            "momentum": copied(self._momentum_buf),
+            "second_moment": copied(self._second_moment),
+            "step": self._step,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        def copied(buf):
+            return None if buf is None else {k: np.asarray(v).copy() for k, v in buf.items()}
+
+        self._momentum_buf = copied(state["momentum"])
+        self._second_moment = copied(state["second_moment"])
+        self._step = int(state["step"])
+
     def __repr__(self) -> str:
         return f"FedOpt(variant={self.variant!r}, lr={self.lr}, server_momentum={self.server_momentum})"

@@ -156,5 +156,11 @@ class Scaffold(FedAlgorithm):
                 slot += delta / self._num_parties
         return new_state
 
+    def checkpoint_state(self) -> dict:
+        return {"server_c": [c.copy() for c in self.server_control]}
+
+    def restore_state(self, state: dict) -> None:
+        self._server_c = [np.asarray(c).copy() for c in state["server_c"]]
+
     def __repr__(self) -> str:
         return f"Scaffold(option={self.option}, correction_mode={self.correction_mode!r})"

@@ -25,6 +25,13 @@ class Client:
     rng:
         Private generator for local shuffling; derive it from the run seed
         so whole experiments are reproducible.
+
+    A client with an **empty dataset** is permitted (low-beta Dirichlet
+    partitions legitimately produce empty parties): it contributes zero
+    label counts and zero samples.  :func:`make_clients` still rejects or
+    drops empty parties at federation-construction time — silently
+    shrinking a federation skews comparisons — but code that builds
+    clients directly may keep them.
     """
 
     def __init__(
@@ -34,8 +41,6 @@ class Client:
         rng: np.random.Generator,
         local_epochs: int | None = None,
     ):
-        if len(dataset) == 0:
-            raise ValueError(f"client {client_id} has an empty dataset")
         if local_epochs is not None and local_epochs <= 0:
             raise ValueError(f"local_epochs must be positive, got {local_epochs}")
         self.client_id = client_id
@@ -48,6 +53,11 @@ class Client:
         self.local_epochs = local_epochs
         #: algorithm-managed persistent state (e.g. SCAFFOLD's c_i)
         self.state: dict = {}
+        #: fault-injection hook: when set, local training raises
+        #: :class:`~repro.federated.faults.InjectedCrash` after this many
+        #: mini-batch steps.  Transient — the executor sets it for one
+        #: task and clears it afterwards; never checkpointed.
+        self.crash_after_steps: int | None = None
 
     @property
     def num_samples(self) -> int:

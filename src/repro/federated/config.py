@@ -89,6 +89,36 @@ class FederatedConfig:
     codec_k:
         Kept fraction in (0, 1] for the ``topk``/``randk`` codecs
         (ignored otherwise).
+    dropout_prob:
+        Per-round probability a sampled party drops out (never responds);
+        see :class:`~repro.federated.faults.FaultModel`.
+    straggler_prob / straggler_factor:
+        Probability a responding party runs slowed this round, and the
+        compute-time multiplier applied when it does (>= 1).
+    crash_prob / crash_after_steps:
+        Probability a responding party crashes mid-training, and how many
+        local steps it completes before dying.
+    deadline:
+        Round deadline in relative time units (a fault-free party
+        finishes at 1.0; a straggler at ``straggler_factor``).  Parties
+        whose slowdown exceeds the deadline time out and are dropped
+        from aggregation.  ``None`` waits for every responder.
+    over_sample:
+        Under an active fault model with partial participation, sample
+        extra parties so the *expected completed* count matches
+        ``sample_fraction`` (on by default; disable to study raw
+        participation decay).
+    max_retries:
+        Bounded retries the executor attempts for a party whose task
+        raises an unexpected (non-injected) exception, before the
+        parallel backend falls back to serial re-execution and then
+        gives up loudly.
+    checkpoint_every:
+        Save a full run checkpoint every k rounds (0 = never); see
+        :meth:`~repro.federated.server.FederatedServer.save_checkpoint`.
+    checkpoint_path:
+        Where periodic checkpoints are written (required when
+        ``checkpoint_every > 0``).
     """
 
     num_rounds: int = 50
@@ -111,6 +141,16 @@ class FederatedConfig:
     codec: str = "identity"
     codec_bits: int = 8
     codec_k: float = 0.1
+    dropout_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_factor: float = 1.0
+    crash_prob: float = 0.0
+    crash_after_steps: int = 1
+    deadline: float | None = None
+    over_sample: bool = True
+    max_retries: int = 1
+    checkpoint_every: int = 0
+    checkpoint_path: str | None = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -170,4 +210,38 @@ class FederatedConfig:
         if not 0.0 < self.codec_k <= 1.0:
             raise ValueError(
                 f"codec_k must be a fraction in (0, 1], got {self.codec_k}"
+            )
+        for name in ("dropout_prob", "straggler_prob", "crash_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.dropout_prob + self.crash_prob > 1.0:
+            raise ValueError(
+                "dropout_prob + crash_prob must not exceed 1, got "
+                f"{self.dropout_prob} + {self.crash_prob}"
+            )
+        if self.straggler_factor < 1.0:
+            raise ValueError(
+                f"straggler_factor must be >= 1, got {self.straggler_factor}"
+            )
+        if self.crash_after_steps < 1:
+            raise ValueError(
+                f"crash_after_steps must be >= 1, got {self.crash_after_steps}"
+            )
+        if self.deadline is not None and self.deadline < 1.0:
+            raise ValueError(
+                "deadline is relative to a fault-free party's round time "
+                f"(1.0) and must be >= 1, got {self.deadline}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be non-negative, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_every > 0 and not self.checkpoint_path:
+            raise ValueError(
+                "checkpoint_every > 0 needs a checkpoint_path to write to"
             )

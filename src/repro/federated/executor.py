@@ -30,6 +30,28 @@ Results are **bitwise identical regardless of worker count**:
   never completion order, so aggregation sees the same sequence the
   serial loop produces.
 
+Fault tolerance
+---------------
+:meth:`ClientExecutor.execute_round` is the hardened entry point the
+server drives.  Its contract:
+
+- **transactional commit** — client generator states advance only after
+  *every* dispatched task resolved (success or definitive failure); an
+  exception mid-round leaves all clients exactly as they were, so the
+  round can be retried or abandoned without corrupting RNG schedules;
+- **bounded retry** — a task raising an unexpected exception is retried
+  up to ``config.max_retries`` times from the same pre-task snapshot,
+  so a *transient* fault recovers bitwise-identically to a fault-free
+  run;
+- **serial re-execution fallback** — the parallel backend re-runs a
+  task that keeps failing in the pool directly in the parent process
+  (covering worker death and transport corruption) before giving up
+  loudly;
+- **injected crashes** (:class:`~repro.federated.faults.InjectedCrash`)
+  are deterministic by construction and are *not* retried: the party is
+  reported failed and its partial work — including its advanced
+  generator state — is discarded.
+
 Workers are forked lazily on the first round, after
 :meth:`FedAlgorithm.prepare`, so the replicas inherit the datasets and
 cached key structure by copy-on-write instead of pickling them.
@@ -39,11 +61,13 @@ from __future__ import annotations
 
 import multiprocessing
 import weakref
-from typing import TYPE_CHECKING, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.comm.channel import RESIDUAL_KEY, CommChannel
+from repro.federated.faults import InjectedCrash, PartyFault
 from repro.grad.serialize import state_dict_to_vector, vector_to_state_dict
 
 if TYPE_CHECKING:
@@ -89,6 +113,23 @@ def process_upload(channel, algorithm, result, client, reference, keys) -> None:
         result.client_state[RESIDUAL_KEY] = new_residual
 
 
+@dataclass
+class RoundExecution:
+    """What one hardened round execution produced.
+
+    ``results`` holds the completed parties' results in participant
+    order; ``failed`` maps each party that did not finish to a short
+    reason string (``"crash@step3"``); ``fallback`` names the recovery
+    path taken when any task needed one (``"retry"`` or ``"serial"``),
+    ``None`` for a clean round.
+    """
+
+    results: "list[ClientResult]" = field(default_factory=list)
+    completed: list[int] = field(default_factory=list)
+    failed: dict[int, str] = field(default_factory=dict)
+    fallback: str | None = None
+
+
 class ClientExecutor:
     """Interface: run the sampled parties' local rounds for one round."""
 
@@ -121,9 +162,30 @@ class ClientExecutor:
 
         ``payload`` is the (already channel-encoded) broadcast extras;
         when ``None`` the executor asks the algorithm directly, which is
-        the uncompressed pre-channel behaviour.
+        the uncompressed pre-channel behaviour.  Without injected faults
+        every party completes (unexpected failures raise after retries),
+        so this returns the bare result list.
+        """
+        return self.execute_round(global_state, participants, payload).results
+
+    def execute_round(
+        self,
+        global_state: dict[str, np.ndarray],
+        participants: Sequence[int],
+        payload: dict | None = None,
+        faults: "Mapping[int, PartyFault] | None" = None,
+    ) -> RoundExecution:
+        """Fault-tolerant round execution (see the module docstring).
+
+        ``faults`` carries injected per-party failures for this round;
+        parties the fault model already dropped must not appear in
+        ``participants`` at all.
         """
         raise NotImplementedError
+
+    def _max_retries(self) -> int:
+        config = getattr(self, "config", None)
+        return config.max_retries if config is not None else 1
 
     def close(self) -> None:
         """Release backend resources (idempotent)."""
@@ -138,12 +200,13 @@ class ClientExecutor:
 class SerialExecutor(ClientExecutor):
     """Run parties one after another on the server's workspace model."""
 
-    def run_round(
+    def execute_round(
         self,
         global_state: dict[str, np.ndarray],
         participants: Sequence[int],
         payload: dict | None = None,
-    ) -> "list[ClientResult]":
+        faults: "Mapping[int, PartyFault] | None" = None,
+    ) -> RoundExecution:
         if payload is None:
             payload = self.algorithm.broadcast_payload()
         channel = self.channel
@@ -151,21 +214,63 @@ class SerialExecutor(ClientExecutor):
         # vector (only needed by delta-mode codecs) is built lazily.
         keys: list[str] | None = None
         reference: np.ndarray | None = None
-        results = []
+        execution = RoundExecution()
+        max_retries = self._max_retries()
+        # Advanced generator states stage here and commit only after the
+        # whole round resolved — an irrecoverable failure on a later
+        # party must leave every client untouched.
+        staged_rng: dict[int, dict] = {}
         for party in participants:
             client = self.clients[party]
+            fault = faults.get(party) if faults else None
+            if channel is not None and keys is None and not channel.codec.lossless:
+                keys = sorted(global_state)
+                reference = state_dict_to_vector(global_state, keys=keys)
+            snapshot = client.rng.bit_generator.state
+            attempts = 0
+            while True:
+                try:
+                    result = self._run_one(
+                        client, global_state, payload, fault, reference, keys
+                    )
+                except InjectedCrash as crash:
+                    # Deterministic by construction: no retry.  The
+                    # party's partial work (and generator draws) die
+                    # with it.
+                    client.rng.bit_generator.state = snapshot
+                    execution.failed[party] = f"crash@step{crash.steps_completed}"
+                    break
+                except Exception:
+                    client.rng.bit_generator.state = snapshot
+                    attempts += 1
+                    if attempts > max_retries:
+                        raise
+                    execution.fallback = "retry"
+                    continue
+                staged_rng[party] = client.rng.bit_generator.state
+                client.rng.bit_generator.state = snapshot
+                execution.results.append(result)
+                execution.completed.append(party)
+                break
+        for party, rng_state in staged_rng.items():
+            self.clients[party].rng.bit_generator.state = rng_state
+        return execution
+
+    def _run_one(self, client, global_state, payload, fault, reference, keys):
+        """One party's task: fault arming, local update, uplink coding."""
+        if fault is not None and fault.crash_after_steps is not None:
+            client.crash_after_steps = fault.crash_after_steps
+        try:
             result = self.algorithm.local_update(
                 self.model, global_state, client, self.config, payload
             )
-            if channel is not None:
-                if keys is None and not channel.codec.lossless:
-                    keys = sorted(global_state)
-                    reference = state_dict_to_vector(global_state, keys=keys)
-                process_upload(
-                    channel, self.algorithm, result, client, reference, keys
-                )
-            results.append(result)
-        return results
+        finally:
+            client.crash_after_steps = None
+        if self.channel is not None:
+            process_upload(
+                self.channel, self.algorithm, result, client, reference, keys
+            )
+        return result
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -195,7 +300,9 @@ class _WorkerState:
 _FORK_STATE: _WorkerState | None = None
 
 
-def _run_task(client_index, global_vec, rng_state, client_state, payload):
+def _run_task(
+    client_index, global_vec, rng_state, client_state, payload, crash_after=None
+):
     """Worker entry: one party's local round against the shipped state."""
     state = _FORK_STATE
     if state is None:  # pragma: no cover - defensive; fork guarantees it
@@ -206,9 +313,15 @@ def _run_task(client_index, global_vec, rng_state, client_state, payload):
     client.rng.bit_generator.state = rng_state
     client.state = client_state
     global_state = vector_to_state_dict(global_vec, state.template, keys=state.keys)
-    result = state.algorithm.local_update(
-        state.model, global_state, client, state.config, payload
-    )
+    # Workers are long-lived and client objects are reused across tasks,
+    # so the injected-crash arming must not outlive this task.
+    client.crash_after_steps = crash_after
+    try:
+        result = state.algorithm.local_update(
+            state.model, global_state, client, state.config, payload
+        )
+    finally:
+        client.crash_after_steps = None
     if state.channel is not None:
         # global_vec is exactly the flat broadcast reference delta-mode
         # codecs need; the uplink draws from client.rng, whose advanced
@@ -267,39 +380,123 @@ class ParallelExecutor(ClientExecutor):
             _FORK_STATE = None
         self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
 
-    def run_round(
+    def execute_round(
         self,
         global_state: dict[str, np.ndarray],
         participants: Sequence[int],
         payload: dict | None = None,
-    ) -> "list[ClientResult]":
+        faults: "Mapping[int, PartyFault] | None" = None,
+    ) -> RoundExecution:
         self._ensure_pool(global_state)
         if payload is None:
             payload = self.algorithm.broadcast_payload()
         global_vec = state_dict_to_vector(global_state, keys=self._keys)
-        pending = []
-        for party in participants:
+        faults = faults or {}
+        max_retries = self._max_retries()
+
+        def submit(party):
             client = self.clients[party]
-            pending.append(
-                self._pool.apply_async(
-                    _run_task,
-                    (
-                        party,
-                        global_vec,
-                        client.rng.bit_generator.state,
-                        client.state,
-                        payload,
-                    ),
-                )
+            fault = faults.get(party)
+            crash_after = fault.crash_after_steps if fault is not None else None
+            return self._pool.apply_async(
+                _run_task,
+                (
+                    party,
+                    global_vec,
+                    client.rng.bit_generator.state,
+                    client.state,
+                    payload,
+                    crash_after,
+                ),
             )
+
+        pending = [(party, submit(party)) for party in participants]
+        execution = RoundExecution()
+        # Parent client generators advance only in the commit phase below,
+        # so an irrecoverable failure anywhere leaves them untouched.
+        staged: dict[int, tuple] = {}
         # Collect in submission (= participant) order, not completion order,
         # so aggregation is independent of worker scheduling.
-        results = []
-        for party, handle in zip(participants, pending):
-            result, rng_state = handle.get()
-            self.clients[party].rng.bit_generator.state = rng_state
-            results.append(result)
-        return results
+        for party, handle in pending:
+            try:
+                staged[party] = handle.get()
+                continue
+            except InjectedCrash as crash:
+                # Deterministic injection: the party is lost this round.
+                execution.failed[party] = f"crash@step{crash.steps_completed}"
+                continue
+            except Exception:
+                pass
+            if self._recover(
+                party, global_state, global_vec, payload, faults,
+                staged, execution, max_retries,
+            ):
+                continue
+        for party in participants:
+            if party in staged:
+                result, rng_state = staged[party]
+                self.clients[party].rng.bit_generator.state = rng_state
+                execution.results.append(result)
+                execution.completed.append(party)
+        return execution
+
+    def _recover(
+        self, party, global_state, global_vec, payload, faults,
+        staged, execution, max_retries,
+    ) -> bool:
+        """Retry a failed task through the pool, then serially in-parent.
+
+        Returns True when the party resolved (result staged or marked
+        failed); raises when every path is exhausted — with nothing
+        committed, so the caller's clients are unchanged.
+        """
+        client = self.clients[party]
+        fault = faults.get(party)
+        for _ in range(max_retries):
+            execution.fallback = "retry"
+            handle = self._pool.apply_async(
+                _run_task,
+                (
+                    party,
+                    global_vec,
+                    client.rng.bit_generator.state,
+                    client.state,
+                    payload,
+                    fault.crash_after_steps if fault is not None else None,
+                ),
+            )
+            try:
+                staged[party] = handle.get()
+                return True
+            except InjectedCrash as crash:
+                execution.failed[party] = f"crash@step{crash.steps_completed}"
+                return True
+            except Exception:
+                continue
+        # Serial re-execution in the parent: immune to worker death and
+        # result-transport corruption.  The parent client's generator is
+        # still at its pre-round state, so the task replays exactly.
+        execution.fallback = "serial"
+        snapshot = client.rng.bit_generator.state
+        if fault is not None and fault.crash_after_steps is not None:
+            client.crash_after_steps = fault.crash_after_steps
+        try:
+            result = self.algorithm.local_update(
+                self.model, global_state, client, self.config, payload
+            )
+            if self.channel is not None:
+                process_upload(
+                    self.channel, self.algorithm, result, client,
+                    global_vec, self._keys,
+                )
+            staged[party] = (result, client.rng.bit_generator.state)
+            return True
+        except InjectedCrash as crash:
+            execution.failed[party] = f"crash@step{crash.steps_completed}"
+            return True
+        finally:
+            client.crash_after_steps = None
+            client.rng.bit_generator.state = snapshot
 
     def close(self) -> None:
         if self._finalizer is not None:

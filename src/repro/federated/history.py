@@ -27,6 +27,26 @@ class RoundRecord:
     #: existed.
     bytes_down: int = 0
     bytes_up: int = 0
+    #: measured uplink bytes per completing participant (aligned with
+    #: ``participants``); lets the wall-clock replay charge per-client
+    #: codec payload variation correctly.  Empty on legacy records.
+    client_bytes_up: list[int] = field(default_factory=list)
+    #: the full set of parties the sampler drew this round, before the
+    #: fault model thinned it; equals ``participants`` on fault-free
+    #: rounds.  Empty on legacy records (read it as "= participants").
+    sampled: list[int] = field(default_factory=list)
+    #: sampled parties that did not make it into aggregation, with
+    #: aligned human-readable reasons ("dropout", "deadline",
+    #: "crash@step3").
+    dropped: list[int] = field(default_factory=list)
+    drop_reasons: list[str] = field(default_factory=list)
+    #: compute slowdown per completing participant (aligned with
+    #: ``participants``; 1.0 = nominal) — how the system model charges
+    #: stragglers' elapsed time.  Empty means all-nominal.
+    slowdowns: list[float] = field(default_factory=list)
+    #: recovery path the executor took this round ("retry", "serial"),
+    #: None for a clean round.
+    fallback: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -38,6 +58,12 @@ class RoundRecord:
             "client_steps": list(self.client_steps),
             "bytes_down": self.bytes_down,
             "bytes_up": self.bytes_up,
+            "client_bytes_up": list(self.client_bytes_up),
+            "sampled": list(self.sampled),
+            "dropped": list(self.dropped),
+            "drop_reasons": list(self.drop_reasons),
+            "slowdowns": list(self.slowdowns),
+            "fallback": self.fallback,
         }
 
     @classmethod
@@ -53,6 +79,12 @@ class RoundRecord:
             client_steps=[int(s) for s in data.get("client_steps", [])],
             bytes_down=int(data.get("bytes_down", 0)),
             bytes_up=int(data.get("bytes_up", 0)),
+            client_bytes_up=[int(b) for b in data.get("client_bytes_up", [])],
+            sampled=[int(p) for p in data.get("sampled", [])],
+            dropped=[int(p) for p in data.get("dropped", [])],
+            drop_reasons=[str(r) for r in data.get("drop_reasons", [])],
+            slowdowns=[float(s) for s in data.get("slowdowns", [])],
+            fallback=data.get("fallback"),
         )
 
 
@@ -82,6 +114,11 @@ class History:
     @property
     def losses(self) -> np.ndarray:
         return np.array([r.train_loss for r in self.records])
+
+    @property
+    def dropped_counts(self) -> np.ndarray:
+        """Parties lost per round (dropout, deadline, crash); 0 = clean."""
+        return np.array([len(r.dropped) for r in self.records])
 
     @property
     def final_accuracy(self) -> float:

@@ -90,7 +90,10 @@ class StratifiedSampler:
         while len(chosen) < count:
             best_party = None
             best_kl = np.inf
-            for party in remaining:
+            # Iterate a sorted sequence, not the raw set: KL ties then
+            # break toward the lowest party index on every platform,
+            # instead of following hash order.
+            for party in sorted(remaining):
                 kl = self._kl_to_global(pooled + self.label_counts[party])
                 if kl < best_kl:
                     best_kl = kl

@@ -17,6 +17,23 @@ Round structure:
    :meth:`aggregate`);
 6. periodically evaluate top-1 accuracy on the held-out test set.
 
+Fault-tolerant rounds
+---------------------
+When the config enables a :class:`~repro.federated.faults.FaultModel`,
+the sampled set is thinned before dispatch (dropouts; stragglers whose
+slowdown exceeds the round ``deadline``) and again after execution
+(injected crashes).  The round aggregates whatever subset survives —
+with over-sampling keeping *expected completed* participation at the
+configured fraction — and the :class:`RoundRecord` carries the sampled
+set, the dropped parties with reasons, per-party slowdowns and the
+executor's recovery path.  A round every party fails leaves the global
+model unchanged (there is nothing to aggregate) and records a NaN
+training loss.
+
+Long runs checkpoint with :meth:`FederatedServer.save_checkpoint` and
+continue with :meth:`FederatedServer.resume`; a resumed run reproduces
+the uninterrupted run's history bitwise (see DESIGN.md for the format).
+
 The server owns a single workspace model instance; serial party training
 reloads weights into it instead of rebuilding, so CPU runs stay cheap.
 Parallel workers fork their own long-lived replicas of it.
@@ -24,6 +41,9 @@ Parallel workers fork their own long-lived replicas of it.
 
 from __future__ import annotations
 
+import copy
+import os
+import pickle
 from typing import Callable
 
 import numpy as np
@@ -35,8 +55,12 @@ from repro.federated.client import Client
 from repro.federated.config import FederatedConfig
 from repro.federated.evaluation import evaluate_accuracy
 from repro.federated.executor import ClientExecutor, make_executor
+from repro.federated.faults import NO_FAULT, FaultModel
 from repro.federated.history import History, RoundRecord
 from repro.federated.sampling import StratifiedSampler, sample_parties
+
+#: version tag written into checkpoints; bumped on layout changes
+CHECKPOINT_FORMAT = 1
 
 
 class FederatedServer:
@@ -93,11 +117,22 @@ class FederatedServer:
         self.global_state = model.state_dict()
         self.history = History()
         self._sampler_rng = np.random.default_rng(config.seed)
+        self.fault_model = FaultModel.from_config(config)
         self._stratified: StratifiedSampler | None = None
         if config.sampler == "stratified":
-            num_classes = 1 + max(
-                int(client.dataset.labels.max()) for client in clients
-            )
+            # Empty parties (legitimate under low-beta Dirichlet skew)
+            # contribute zero counts; labels.max() on an empty array
+            # would raise, so the class range comes from non-empty ones.
+            label_maxima = [
+                int(client.dataset.labels.max())
+                for client in clients
+                if len(client.dataset) > 0
+            ]
+            if not label_maxima:
+                raise ValueError(
+                    "stratified sampling needs at least one non-empty client"
+                )
+            num_classes = 1 + max(label_maxima)
             counts = np.stack(
                 [client.dataset.class_counts(num_classes) for client in clients]
             )
@@ -114,17 +149,58 @@ class FederatedServer:
     def num_parties(self) -> int:
         return len(self.clients)
 
+    def _sample_round(self) -> list[int]:
+        """Draw this round's parties, over-sampling under active faults.
+
+        With a fault model expected to lose a fraction ``d`` of sampled
+        parties, sampling ``m / (1 - d)`` instead of ``m`` keeps the
+        expected *completed* count at the configured participation.
+        """
+        fraction = self.config.sample_fraction
+        if (
+            self.fault_model is not None
+            and self.config.over_sample
+            and fraction < 1.0
+        ):
+            drop = self.fault_model.expected_drop_rate(self.config.deadline)
+            if drop > 0.0:
+                fraction = min(1.0, fraction / (1.0 - drop))
+        if self._stratified is not None:
+            sampled = self._stratified.sample(fraction, self._sampler_rng)
+        else:
+            sampled = sample_parties(
+                self.num_parties, fraction, self._sampler_rng
+            )
+        return [int(p) for p in sampled]
+
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute one communication round and return its record."""
-        if self._stratified is not None:
-            participants = self._stratified.sample(
-                self.config.sample_fraction, self._sampler_rng
-            )
-        else:
-            participants = sample_parties(
-                self.num_parties, self.config.sample_fraction, self._sampler_rng
-            )
-        participants = [int(p) for p in participants]
+        sampled = self._sample_round()
+        # Consult the fault model: dropouts and deadline-missing
+        # stragglers never dispatch; crashes and surviving stragglers do.
+        deadline = self.config.deadline
+        faults = (
+            self.fault_model.round_faults(round_index, sampled)
+            if self.fault_model is not None
+            else {}
+        )
+        participants: list[int] = []
+        dispatch_faults = {}
+        dropped: list[int] = []
+        drop_reasons: list[str] = []
+        for party in sampled:
+            fault = faults.get(party, NO_FAULT)
+            if fault.dropped:
+                dropped.append(party)
+                drop_reasons.append("dropout")
+                continue
+            if deadline is not None and fault.slowdown > deadline:
+                dropped.append(party)
+                drop_reasons.append("deadline")
+                continue
+            participants.append(party)
+            if not fault.ok:
+                dispatch_faults[party] = fault
         # Downlink: encode the broadcast through the comm channel; what
         # clients train from is what they would decode off the wire, and
         # the per-client byte cost is measured from the encoded payloads.
@@ -132,32 +208,59 @@ class FederatedServer:
         broadcast_state, extras, down_per_client = self.channel.broadcast(
             self.global_state, extras, self._comm_keys
         )
-        results = self.executor.run_round(broadcast_state, participants, extras)
+        execution = self.executor.execute_round(
+            broadcast_state, participants, extras,
+            faults=dispatch_faults or None,
+        )
+        for party in participants:
+            if party in execution.failed:
+                dropped.append(party)
+                drop_reasons.append(execution.failed[party])
+        completed = execution.completed
+        results = execution.results
         # Commit persistent per-party state (SCAFFOLD c_i, local BN) in
         # participant order, then aggregate over the same ordering — the
         # two invariants that keep parallel runs bitwise-equal to serial.
-        for party, result in zip(participants, results):
+        for party, result in zip(completed, results):
             self.algorithm.commit(self.clients[party], result)
-        self.global_state = self.algorithm.aggregate(
-            self.global_state, results, self.config
-        )
+        if results:
+            self.global_state = self.algorithm.aggregate(
+                self.global_state, results, self.config
+            )
 
         accuracy = None
         if self.test_dataset is not None and (
             (round_index + 1) % self.config.eval_every == 0
         ):
             accuracy = self.evaluate()
-        bytes_down = down_per_client * len(participants)
-        bytes_up = sum(r.upload_nbytes for r in results)
+        # The server pushed the broadcast to every sampled party, so the
+        # downlink is charged for all of them; only completers upload.
+        bytes_down = down_per_client * len(sampled)
+        client_bytes_up = [r.upload_nbytes for r in results]
+        bytes_up = sum(client_bytes_up)
         record = RoundRecord(
             round_index=round_index,
             test_accuracy=accuracy,
-            train_loss=float(np.mean([r.mean_loss for r in results])),
-            participants=participants,
+            train_loss=(
+                float(np.mean([r.mean_loss for r in results]))
+                if results
+                else float("nan")
+            ),
+            participants=completed,
             bytes_communicated=bytes_down + bytes_up,
             client_steps=[r.num_steps for r in results],
             bytes_down=bytes_down,
             bytes_up=bytes_up,
+            client_bytes_up=client_bytes_up,
+            sampled=sampled,
+            dropped=dropped,
+            drop_reasons=drop_reasons,
+            slowdowns=(
+                [faults.get(p, NO_FAULT).slowdown for p in completed]
+                if faults
+                else []
+            ),
+            fallback=execution.fallback,
         )
         self.history.append(record)
         if self.round_callback is not None:
@@ -165,12 +268,101 @@ class FederatedServer:
         return record
 
     def fit(self, num_rounds: int | None = None) -> History:
-        """Run ``num_rounds`` rounds (defaults to the config's)."""
+        """Run ``num_rounds`` rounds (defaults to the config's).
+
+        With ``config.checkpoint_every > 0`` a full run checkpoint is
+        written to ``config.checkpoint_path`` every k completed rounds.
+        """
         rounds = num_rounds if num_rounds is not None else self.config.num_rounds
         start = len(self.history)
+        every = self.config.checkpoint_every
         for round_index in range(start, start + rounds):
             self.run_round(round_index)
+            if every > 0 and len(self.history) % every == 0:
+                self.save_checkpoint(self.config.checkpoint_path)
         return self.history
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: str) -> None:
+        """Serialize everything a bitwise-identical resume needs.
+
+        The checkpoint carries the global model state, every client's
+        generator state and persistent per-party state (SCAFFOLD ``c_i``,
+        retained BN entries, codec error-feedback residuals), server-side
+        algorithm state (SCAFFOLD ``c``, FedOpt moments), the sampler
+        generator, the comm channel's downlink state, and the full round
+        history.  Written atomically (temp file + rename) so an
+        interrupted save never leaves a truncated checkpoint behind.
+        """
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "algorithm": self.algorithm.name,
+            "num_parties": self.num_parties,
+            "rounds_completed": len(self.history),
+            "global_state": {
+                key: np.asarray(value).copy()
+                for key, value in self.global_state.items()
+            },
+            "clients": [
+                {
+                    "rng": client.rng.bit_generator.state,
+                    "state": copy.deepcopy(client.state),
+                }
+                for client in self.clients
+            ],
+            "algorithm_state": self.algorithm.checkpoint_state(),
+            "sampler_rng": self._sampler_rng.bit_generator.state,
+            "channel": self.channel.checkpoint_state(),
+            "history": self.history.to_dict(),
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def resume(self, path: str) -> "FederatedServer":
+        """Load a checkpoint into this (freshly constructed) server.
+
+        The server must have been built with the same model architecture,
+        algorithm, clients and config as the run that wrote the
+        checkpoint; ``fit()`` then continues from the next round and
+        reproduces the uninterrupted run's records bitwise.
+        """
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"unsupported checkpoint format {payload.get('format')!r} "
+                f"(this build reads format {CHECKPOINT_FORMAT})"
+            )
+        if payload["algorithm"] != self.algorithm.name:
+            raise ValueError(
+                f"checkpoint was written by algorithm {payload['algorithm']!r}, "
+                f"this server runs {self.algorithm.name!r}"
+            )
+        if payload["num_parties"] != self.num_parties:
+            raise ValueError(
+                f"checkpoint federation has {payload['num_parties']} parties, "
+                f"this server has {self.num_parties}"
+            )
+        checkpoint_keys = sorted(payload["global_state"])
+        if checkpoint_keys != self._comm_keys:
+            raise ValueError(
+                "checkpoint model state keys do not match this server's model"
+            )
+        self.global_state = payload["global_state"]
+        for client, snapshot in zip(self.clients, payload["clients"]):
+            client.rng.bit_generator.state = snapshot["rng"]
+            client.state = snapshot["state"]
+        algorithm_state = payload["algorithm_state"]
+        if algorithm_state:
+            self.algorithm.restore_state(algorithm_state)
+        self._sampler_rng.bit_generator.state = payload["sampler_rng"]
+        self.channel.restore_state(payload["channel"])
+        self.history = History.from_dict(payload["history"])
+        return self
 
     def evaluate(self, dataset=None) -> float:
         """Top-1 accuracy of the current global model."""

@@ -71,20 +71,60 @@ class SystemModel:
         return self.bandwidths[party % len(self.bandwidths)]
 
     def round_duration(
-        self, participants: list[int], steps: list[int], round_bytes: int
+        self,
+        participants: list[int],
+        steps: list[int],
+        round_bytes: int,
+        bytes_down: int = 0,
+        bytes_up: int = 0,
+        client_bytes_up: list[int] | None = None,
+        slowdowns: list[float] | None = None,
     ) -> float:
-        """Seconds one synchronous round takes under this model."""
+        """Seconds one synchronous round takes under this model.
+
+        When the per-direction fields PR 2 introduced are available
+        (``bytes_down``/``bytes_up`` non-zero), each party is charged the
+        shared per-client downlink plus *its own* measured uplink
+        (``client_bytes_up``, falling back to an even uplink split) —
+        which is what makes SCAFFOLD's doubled uplink and per-client
+        codec payload variation visible in wall-clock replay.  Legacy
+        records without the breakdown keep the old even split of
+        ``round_bytes``.  ``slowdowns`` are the fault model's per-party
+        compute multipliers: a straggler that completed is charged its
+        slowed elapsed time.  Timed-out or dropped parties never appear
+        in ``participants`` and so never extend the round.
+        """
         if not participants:
             return self.server_overhead
         if len(steps) != len(participants):
             raise ValueError(
                 f"{len(steps)} step counts for {len(participants)} participants"
             )
-        per_party_bytes = round_bytes / len(participants)
+        n = len(participants)
+        if slowdowns is not None and len(slowdowns) not in (0, n):
+            raise ValueError(
+                f"{len(slowdowns)} slowdowns for {n} participants"
+            )
+        if client_bytes_up is not None and len(client_bytes_up) not in (0, n):
+            raise ValueError(
+                f"{len(client_bytes_up)} uplink byte counts for {n} participants"
+            )
+        directional = bytes_down > 0 or bytes_up > 0
+        down_per_party = bytes_down / n if directional else round_bytes / n
         slowest = 0.0
-        for party, party_steps in zip(participants, steps):
+        for index, (party, party_steps) in enumerate(zip(participants, steps)):
             compute = party_steps * self.step_time / self._speed(party)
-            transfer = per_party_bytes / self._bandwidth(party)
+            if slowdowns:
+                compute *= slowdowns[index]
+            if directional:
+                if client_bytes_up:
+                    up = client_bytes_up[index]
+                else:
+                    up = bytes_up / n
+                party_bytes = down_per_party + up
+            else:
+                party_bytes = down_per_party
+            transfer = party_bytes / self._bandwidth(party)
             slowest = max(slowest, compute + transfer)
         return slowest + self.server_overhead
 
@@ -92,7 +132,13 @@ class SystemModel:
         """Cumulative wall-clock seconds at the end of each round."""
         durations = [
             self.round_duration(
-                record.participants, record.client_steps, record.bytes_communicated
+                record.participants,
+                record.client_steps,
+                record.bytes_communicated,
+                bytes_down=record.bytes_down,
+                bytes_up=record.bytes_up,
+                client_bytes_up=record.client_bytes_up,
+                slowdowns=record.slowdowns,
             )
             for record in history.records
         ]

@@ -23,6 +23,7 @@ from repro.grad.optim import Adam, SGD
 from repro.grad.tensor import Tensor
 from repro.federated.client import Client
 from repro.federated.config import FederatedConfig
+from repro.federated.faults import InjectedCrash
 
 
 @dataclass
@@ -109,6 +110,11 @@ def run_local_training(
             optimizer.step()
             steps += 1
             total_loss += loss.item()
+            # Fault injection: die mid-round with the model workspace and
+            # the client generator already dirtied — exactly the partial
+            # work the executor's transactional commit must discard.
+            if client.crash_after_steps is not None and steps >= client.crash_after_steps:
+                raise InjectedCrash(client.client_id, steps)
 
     return LocalTrainingResult(
         state=model.state_dict(),

@@ -76,6 +76,26 @@ class TestSampling:
         )
         assert stratified < uniform
 
+    def test_tie_break_is_lowest_index(self):
+        # Regression: with several parties tied on KL reduction, the
+        # greedy picker used to follow Python set iteration (hash order);
+        # ties must resolve to the lowest party index deterministically.
+        counts = np.ones((6, 2))  # every party identical => all ties
+        sampler = StratifiedSampler(counts)
+        draws = set()
+        for _ in range(10):
+            rng = np.random.default_rng(3)
+            draws.add(tuple(int(p) for p in sampler.sample(0.5, rng)))
+        assert len(draws) == 1
+        chosen = next(iter(draws))
+        seed_party = int(np.random.default_rng(3).integers(6))
+        # After the seed party, growth proceeds through the lowest
+        # untaken indices because every candidate ties.
+        expected = tuple(
+            sorted([seed_party] + [p for p in range(6) if p != seed_party][:2])
+        )
+        assert chosen == expected
+
     def test_rotates_across_rounds(self):
         sampler = StratifiedSampler(single_label_counts(num_parties=10))
         rng = np.random.default_rng(0)
@@ -110,3 +130,54 @@ class TestServerIntegration:
 
         with pytest.raises(ValueError):
             FederatedConfig(sampler="roundrobin")
+
+    def test_empty_client_tolerated(self):
+        # Regression: FederatedServer used to compute num_classes via
+        # labels.max() per client, which raises on an empty party
+        # (legitimate under extreme Dirichlet skew).
+        from repro.data import ArrayDataset
+        from repro.federated import (
+            Client,
+            FedAvg,
+            FederatedConfig,
+            FederatedServer,
+        )
+
+        x = np.random.default_rng(0).standard_normal((30, 4)).astype(np.float32)
+        y = (np.arange(30) % 3).astype(np.int64)
+        ds = ArrayDataset(x, y)
+        clients = [
+            Client(0, ds.subset(np.arange(15)), np.random.default_rng(1)),
+            Client(1, ds.subset(np.arange(15, 30)), np.random.default_rng(2)),
+            Client(2, ds.subset(np.array([], dtype=int)), np.random.default_rng(3)),
+        ]
+        from repro.grad import nn
+
+        model = nn.Linear(4, 3, rng=np.random.default_rng(4))
+        config = FederatedConfig(
+            num_rounds=1, local_epochs=1, batch_size=8,
+            sampler="stratified", sample_fraction=0.5,
+        )
+        server = FederatedServer(model, FedAvg(), clients, config)
+        assert server._stratified is not None
+        # The empty party contributes zero counts everywhere.
+        np.testing.assert_array_equal(
+            server._stratified.label_counts[2], np.zeros(3)
+        )
+        server.fit(1)
+
+    def test_all_empty_clients_rejected(self):
+        from repro.data import ArrayDataset
+        from repro.federated import Client, FedAvg, FederatedConfig, FederatedServer
+        from repro.grad import nn
+
+        x = np.zeros((4, 2), dtype=np.float32)
+        ds = ArrayDataset(x, np.zeros(4, dtype=np.int64))
+        clients = [
+            Client(i, ds.subset(np.array([], dtype=int)), np.random.default_rng(i))
+            for i in range(2)
+        ]
+        model = nn.Linear(2, 2, rng=np.random.default_rng(0))
+        config = FederatedConfig(sampler="stratified")
+        with pytest.raises(ValueError, match="non-empty"):
+            FederatedServer(model, FedAvg(), clients, config)

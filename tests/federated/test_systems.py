@@ -7,7 +7,7 @@ from repro.federated import SystemModel
 from repro.federated.history import History, RoundRecord
 
 
-def record(round_index, accuracy, participants, steps, nbytes):
+def record(round_index, accuracy, participants, steps, nbytes, **extra):
     return RoundRecord(
         round_index=round_index,
         test_accuracy=accuracy,
@@ -15,6 +15,7 @@ def record(round_index, accuracy, participants, steps, nbytes):
         participants=participants,
         bytes_communicated=nbytes,
         client_steps=steps,
+        **extra,
     )
 
 
@@ -74,6 +75,87 @@ class TestRoundDuration:
     def test_empty_round(self):
         model = SystemModel(server_overhead=2.0)
         assert model.round_duration([], [], 0) == 2.0
+
+
+class TestDirectionalCharging:
+    """Regression: per-direction byte fields must drive the transfer time.
+
+    The old model split ``bytes_communicated`` evenly regardless of the
+    ``bytes_down``/``bytes_up`` breakdown PR 2 started recording, which
+    under-charged parties with asymmetric or per-client-varying uplinks.
+    """
+
+    def test_uses_direction_fields_over_aggregate(self):
+        model = SystemModel(step_time=1e-12, default_bandwidth=100.0)
+        # When the breakdown is present, the aggregate (here deliberately
+        # inconsistent) must be ignored in favour of down/up fields.
+        duration = model.round_duration(
+            [0, 1], [1, 1], 1000, bytes_down=200, bytes_up=0
+        )
+        assert duration == pytest.approx(100 / 100.0)
+
+    def test_per_client_uplink_charged_to_its_party(self):
+        model = SystemModel(step_time=1e-12, default_bandwidth=100.0)
+        uneven = model.round_duration(
+            [0, 1], [1, 1], 400,
+            bytes_down=200, bytes_up=200, client_bytes_up=[190, 10],
+        )
+        # The slowest party carries 100 (down) + 190 (its uplink).
+        assert uneven == pytest.approx(290 / 100.0)
+        even = model.round_duration(
+            [0, 1], [1, 1], 400, bytes_down=200, bytes_up=200
+        )
+        assert even == pytest.approx(200 / 100.0)
+
+    def test_legacy_records_keep_even_split(self):
+        model = SystemModel(step_time=1e-12, default_bandwidth=100.0)
+        legacy = model.round_duration([0, 1], [1, 1], 400)
+        assert legacy == pytest.approx(200 / 100.0)
+
+    def test_straggler_slowdown_charged(self):
+        model = SystemModel(step_time=0.1)
+        slowed = model.round_duration(
+            [0, 1], [10, 10], 0, slowdowns=[1.0, 3.0]
+        )
+        assert slowed == pytest.approx(3.0)
+
+    def test_mismatched_lengths_rejected(self):
+        model = SystemModel()
+        with pytest.raises(ValueError):
+            model.round_duration([0, 1], [1, 1], 0, slowdowns=[1.0])
+        with pytest.raises(ValueError):
+            model.round_duration(
+                [0, 1], [1, 1], 0, bytes_down=10, client_bytes_up=[5]
+            )
+
+    def test_replay_scaffold_history(self):
+        # SCAFFOLD's uplink carries the control-variate delta on top of
+        # the model state; the directional replay must charge its real
+        # per-client uplink, not an even split of the aggregate.
+        from repro import run_federated_experiment
+        from repro.experiments.scale import SMOKE
+
+        outcome = run_federated_experiment(
+            "adult", "iid", "scaffold", preset=SMOKE, seed=0
+        )
+        rec = outcome.history.records[0]
+        assert rec.client_bytes_up and sum(rec.client_bytes_up) == rec.bytes_up
+        model = SystemModel(step_time=1e-12, default_bandwidth=1e3)
+        duration = model.round_duration(
+            rec.participants,
+            rec.client_steps,
+            rec.bytes_communicated,
+            bytes_down=rec.bytes_down,
+            bytes_up=rec.bytes_up,
+            client_bytes_up=rec.client_bytes_up,
+        )
+        n = len(rec.participants)
+        expected = (rec.bytes_down / n + max(rec.client_bytes_up)) / 1e3
+        assert duration == pytest.approx(expected)
+        # and replay() must route the record's fields the same way
+        np.testing.assert_allclose(
+            model.replay(outcome.history)[0], duration
+        )
 
 
 class TestReplay:
