@@ -23,8 +23,15 @@ Quickstart::
     print(outcome.final_accuracy)
 """
 
-from repro.experiments.runner import ExperimentOutcome, run_federated_experiment
+from repro.experiments.runner import ExperimentOutcome, run_federated_experiment, run_spec
+from repro.spec import RunSpec
 
 __version__ = "0.1.0"
 
-__all__ = ["run_federated_experiment", "ExperimentOutcome", "__version__"]
+__all__ = [
+    "run_federated_experiment",
+    "run_spec",
+    "RunSpec",
+    "ExperimentOutcome",
+    "__version__",
+]

@@ -4,29 +4,36 @@ Usage::
 
     python -m repro run --dataset cifar10 --partition "#C=2" \\
         --alg fedprox --mu 0.01 --comm-round 20 --epochs 5
+    python -m repro run --spec examples/table3_cell.json
     python -m repro partition-report --dataset mnist --partition "dir(0.5)"
     python -m repro recommend --partition "gau(0.1)"
-    python -m repro datasets
+    python -m repro list
     python -m repro trials --dataset adult --partition iid --alg fedavg -n 3
 
 Flag names follow the original repository where they exist
 (``--alg``, ``--comm-round``, ``--epochs``, ``--mu``, ``--beta`` map onto
-NIID-Bench's arguments).
+NIID-Bench's arguments).  Every experiment command resolves its flags
+into a :class:`repro.spec.RunSpec` first; ``--spec file.json`` skips the
+flags and loads the spec directly, and ``run --print-spec`` emits the
+resolved spec as JSON without training (the way to author spec files).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 from repro.comm import CODEC_NAMES
 from repro.data import DATASET_NAMES, load_dataset
-from repro.experiments import recommend_algorithm, run_federated_experiment, run_trials
+from repro.experiments import run_spec, run_trials
+from repro.experiments.decision_tree import recommend_algorithm
 from repro.experiments.scale import PRESETS
 from repro.federated.algorithms import ALGORITHM_NAMES
 from repro.partition import parse_strategy, stats
+from repro.spec import RunSpec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,10 +45,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="run one federated experiment")
     _add_experiment_args(run)
+    run.add_argument(
+        "--print-spec", action="store_true",
+        help="print the resolved RunSpec as JSON and exit without training",
+    )
 
     trials = commands.add_parser("trials", help="mean +- std over repeated seeds")
     _add_experiment_args(trials)
     trials.add_argument("-n", "--num-trials", type=int, default=3)
+    trials.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="ResultStore directory: completed trials are read back, "
+             "fresh ones saved",
+    )
 
     report = commands.add_parser(
         "partition-report", help="partition a dataset and print skew statistics"
@@ -58,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--partition", required=True)
 
     commands.add_parser("datasets", help="list available datasets")
+    commands.add_parser(
+        "list", help="list every registered component (datasets, partitions, "
+        "models, algorithms, codecs)"
+    )
 
     table3 = commands.add_parser(
         "table3", help="run a slice of the paper's Table 3 matrix"
@@ -71,13 +91,23 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("-n", "--num-trials", type=int, default=1)
     table3.add_argument("--init-seed", type=int, default=0)
     table3.add_argument("--save", default=None, help="write leaderboard JSON here")
+    table3.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="ResultStore directory: completed cells are read back, fresh "
+             "ones saved — a killed matrix resumes where it stopped",
+    )
     return parser
 
 
 def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dataset", required=True, choices=DATASET_NAMES)
-    parser.add_argument("--partition", required=True, help='e.g. "iid", "#C=2", "dir(0.5)"')
-    parser.add_argument("--alg", required=True, choices=ALGORITHM_NAMES)
+    parser.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="load the full RunSpec from this JSON file instead of flags "
+             "(--dataset/--partition/--alg are then not required)",
+    )
+    parser.add_argument("--dataset", default=None, choices=DATASET_NAMES)
+    parser.add_argument("--partition", default=None, help='e.g. "iid", "#C=2", "dir(0.5)"')
+    parser.add_argument("--alg", default=None, choices=ALGORITHM_NAMES)
     parser.add_argument("--model", default="default")
     parser.add_argument("--n-parties", type=int, default=None)
     parser.add_argument("--comm-round", type=int, default=None, help="rounds T")
@@ -154,12 +184,10 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _experiment_kwargs(args) -> dict:
+def _build_kwargs(args) -> dict:
+    """Flags -> ``RunSpec.build`` keyword arguments (sans the cell key)."""
     algorithm_kwargs = {"mu": args.mu} if args.alg == "fedprox" else None
     return dict(
-        dataset=args.dataset,
-        partition=args.partition,
-        algorithm=args.alg,
         model=args.model,
         num_parties=args.n_parties,
         preset=PRESETS[args.preset],
@@ -182,13 +210,44 @@ def _experiment_kwargs(args) -> dict:
         deadline=args.deadline,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_path,
-        resume=args.resume,
         algorithm_kwargs=algorithm_kwargs,
     )
 
 
+def _spec_from_args(args) -> RunSpec:
+    """Resolve an experiment command's arguments into a RunSpec."""
+    if args.spec is not None:
+        with open(args.spec) as handle:
+            return RunSpec.from_dict(json.load(handle)).validate()
+    missing = [
+        flag
+        for flag, value in (
+            ("--dataset", args.dataset),
+            ("--partition", args.partition),
+            ("--alg", args.alg),
+        )
+        if value is None
+    ]
+    if missing:
+        raise SystemExit(
+            f"error: {' / '.join(missing)} required (or pass --spec FILE)"
+        )
+    return RunSpec.build(
+        args.dataset,
+        args.partition,
+        args.alg,
+        seed=args.init_seed,
+        **_build_kwargs(args),
+    )
+
+
 def cmd_run(args) -> int:
-    outcome = run_federated_experiment(seed=args.init_seed, **_experiment_kwargs(args))
+    spec = _spec_from_args(args)
+    if args.print_spec:
+        print(spec.to_json())
+        print(f"run_id: {spec.run_id()}", file=sys.stderr)
+        return 0
+    outcome = run_spec(spec, resume=args.resume)
     for record in outcome.history.records:
         accuracy = "-" if record.test_accuracy is None else f"{record.test_accuracy:.4f}"
         line = (
@@ -201,6 +260,7 @@ def cmd_run(args) -> int:
     total_dropped = int(outcome.history.dropped_counts.sum())
     if total_dropped:
         print(f"dropped parties: {total_dropped} across the run")
+    print(f"run id: {spec.run_id()}")
     print(f"final accuracy: {outcome.final_accuracy:.4f}")
     print(f"best accuracy:  {outcome.best_accuracy:.4f}")
     mb = outcome.history.cumulative_communication()[-1] / 1e6
@@ -210,28 +270,29 @@ def cmd_run(args) -> int:
 
         rounds, accuracies = outcome.history.curve()
         print()
-        print(line_chart({args.alg: accuracies}))
+        print(line_chart({outcome.algorithm: accuracies}))
     return 0
 
 
 def cmd_trials(args) -> int:
-    kwargs = _experiment_kwargs(args)
-    dataset = kwargs.pop("dataset")
-    partition = kwargs.pop("partition")
-    algorithm = kwargs.pop("algorithm")
+    spec = _spec_from_args(args)
     # One checkpoint file cannot serve several seeds; trials run clean.
-    kwargs.pop("resume", None)
-    kwargs.pop("checkpoint_every", None)
-    kwargs.pop("checkpoint_path", None)
+    spec = spec.with_overrides(checkpoint_every=0, checkpoint_path=None)
+    store = None
+    if args.store is not None:
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(args.store)
     summary = run_trials(
-        dataset,
-        partition,
-        algorithm,
         num_trials=args.num_trials,
-        base_seed=args.init_seed,
-        **kwargs,
+        base_seed=args.init_seed if args.spec is None else spec.seed,
+        store=store,
+        spec=spec,
     )
-    print(f"{dataset} / {partition} / {algorithm}: {summary.format_cell()}")
+    print(
+        f"{spec.data.name} / {spec.partition.strategy} / "
+        f"{spec.algorithm.name}: {summary.format_cell()}"
+    )
     return 0
 
 
@@ -260,8 +321,32 @@ def cmd_datasets(args) -> int:
     return 0
 
 
+def cmd_list(args) -> int:
+    """Print every registered component straight from the registries."""
+    from repro.comm.codecs import CODECS
+    from repro.data.registry import DATASETS
+    from repro.federated.algorithms import ALGORITHMS
+    from repro.models.registry import MODELS
+    from repro.partition.registry import PARTITIONS
+
+    for registry in (DATASETS, PARTITIONS, MODELS, ALGORITHMS, CODECS):
+        title = registry.kind if registry.kind.endswith("y") else f"{registry.kind}s"
+        print(f"{title}:")
+        for entry in registry.entries():
+            summary = f"  {entry.summary}" if entry.summary else ""
+            print(f"  {entry.name:16s}{summary}")
+        print()
+    return 0
+
+
 def cmd_table3(args) -> int:
     from repro.experiments.table3 import run_table3
+
+    store = None
+    if args.store is not None:
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(args.store)
 
     def progress(dataset, partition, algorithm, summary):
         print(f"{dataset} / {partition} / {algorithm}: {summary.format_cell()}")
@@ -273,6 +358,7 @@ def cmd_table3(args) -> int:
         preset=PRESETS[args.preset],
         num_trials=args.num_trials,
         base_seed=args.init_seed,
+        store=store,
         progress=progress,
     )
     print()
@@ -291,6 +377,7 @@ def main(argv=None) -> int:
         "partition-report": cmd_partition_report,
         "recommend": cmd_recommend,
         "datasets": cmd_datasets,
+        "list": cmd_list,
         "table3": cmd_table3,
     }[args.command]
     return handler(args)

@@ -21,6 +21,7 @@ existed, bit for bit.
 
 from repro.comm.codecs import (
     CODEC_NAMES,
+    CODECS,
     FLOAT_BYTES,
     Codec,
     Float16Codec,
@@ -43,6 +44,7 @@ __all__ = [
     "RandKCodec",
     "make_codec",
     "CODEC_NAMES",
+    "CODECS",
     "FLOAT_BYTES",
     "CommChannel",
     "RESIDUAL_KEY",

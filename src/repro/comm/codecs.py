@@ -35,6 +35,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.registry import Registry
+
 #: bytes per float on the reference float32 wire
 FLOAT_BYTES = 4
 #: bytes per transmitted sparse index (int32 covers every model here)
@@ -268,8 +270,33 @@ class RandKCodec(_SparseCodec):
         return rng.choice(values.size, size=count, replace=False)
 
 
+#: codec factories; each takes the shared ``(bits, k)`` knob schema and
+#: ignores the knobs that do not apply, so one config covers every codec.
+CODECS = Registry("codec")
+CODECS.register(
+    "identity", lambda bits, k: IdentityCodec(), summary="uncompressed float32 wire"
+)
+CODECS.register(
+    "float16", lambda bits, k: Float16Codec(), summary="dense half-precision"
+)
+CODECS.register(
+    "qsgd",
+    lambda bits, k: QSGDCodec(bits=bits),
+    summary="stochastic uniform quantization at `bits`",
+)
+CODECS.register(
+    "topk",
+    lambda bits, k: TopKCodec(k=k),
+    summary="keep the k-fraction largest entries (error feedback)",
+)
+CODECS.register(
+    "randk",
+    lambda bits, k: RandKCodec(k=k),
+    summary="keep a random k-fraction of entries (error feedback)",
+)
+
 #: codec names accepted by :func:`make_codec` and ``FederatedConfig.codec``
-CODEC_NAMES = ("identity", "float16", "qsgd", "topk", "randk")
+CODEC_NAMES = CODECS.names()
 
 
 def make_codec(name: str, bits: int = 8, k: float = 0.1) -> Codec:
@@ -279,15 +306,9 @@ def make_codec(name: str, bits: int = 8, k: float = 0.1) -> Codec:
     configures the sparsifiers.  Irrelevant knobs are ignored, so one
     config schema covers every codec.
     """
-    key = name.lower()
-    if key == "identity":
-        return IdentityCodec()
-    if key == "float16":
-        return Float16Codec()
-    if key == "qsgd":
-        return QSGDCodec(bits=bits)
-    if key == "topk":
-        return TopKCodec(k=k)
-    if key == "randk":
-        return RandKCodec(k=k)
-    raise KeyError(f"unknown codec {name!r}; available: {CODEC_NAMES}")
+    try:
+        return CODECS.build(name, bits, k)
+    except KeyError:
+        raise KeyError(
+            f"unknown codec {name!r}; available: {CODEC_NAMES}"
+        ) from None

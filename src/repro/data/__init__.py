@@ -6,7 +6,7 @@ properties of the originals each generator preserves.
 
 from repro.data.dataset import ArrayDataset, DatasetInfo, Subset
 from repro.data.loader import DataLoader
-from repro.data.registry import DATASET_NAMES, dataset_info, load_dataset
+from repro.data.registry import DATASET_NAMES, DATASETS, dataset_info, load_dataset
 from repro.data import transforms
 
 __all__ = [
@@ -17,5 +17,6 @@ __all__ = [
     "load_dataset",
     "dataset_info",
     "DATASET_NAMES",
+    "DATASETS",
     "transforms",
 ]

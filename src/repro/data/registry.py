@@ -1,16 +1,17 @@
 """Dataset registry: ``load_dataset("mnist")`` etc.
 
-Names match the paper's Table 2.  Every loader accepts ``seed`` and size
-overrides; ``paper_scale=True`` requests the original sizes (slow on CPU —
+Names match the paper's Table 2 and live in the unified
+:class:`repro.registry.Registry` (one instance per component family;
+see ``repro list``).  Every loader accepts ``seed`` and size overrides;
+``paper_scale=True`` requests the original sizes (slow on CPU —
 intended for users with time, not for the test suite).
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.data.dataset import ArrayDataset, DatasetInfo
 from repro.data import synthetic
+from repro.registry import Registry
 
 # Paper's Table 2 sizes, used when paper_scale=True.
 _PAPER_SIZES = {
@@ -25,19 +26,20 @@ _PAPER_SIZES = {
     "femnist": (341_873, 40_832),
 }
 
-_GENERATORS: dict[str, Callable] = {
-    "mnist": synthetic.make_mnist_like,
-    "fmnist": synthetic.make_fmnist_like,
-    "cifar10": synthetic.make_cifar10_like,
-    "svhn": synthetic.make_svhn_like,
-    "femnist": synthetic.make_femnist_like,
-    "fcube": synthetic.make_fcube,
-    "adult": synthetic.make_adult_like,
-    "rcv1": synthetic.make_rcv1_like,
-    "covtype": synthetic.make_covtype_like,
-}
+DATASETS = Registry("dataset")
+DATASETS.register("mnist", synthetic.make_mnist_like, summary="28x28 grayscale digits")
+DATASETS.register("fmnist", synthetic.make_fmnist_like, summary="28x28 grayscale apparel")
+DATASETS.register("cifar10", synthetic.make_cifar10_like, summary="32x32 RGB objects")
+DATASETS.register("svhn", synthetic.make_svhn_like, summary="32x32 RGB house numbers")
+DATASETS.register(
+    "femnist", synthetic.make_femnist_like, summary="per-writer digits (real-world skew)"
+)
+DATASETS.register("fcube", synthetic.make_fcube, summary="3-feature synthetic cube")
+DATASETS.register("adult", synthetic.make_adult_like, summary="tabular census income")
+DATASETS.register("rcv1", synthetic.make_rcv1_like, summary="sparse text categorization")
+DATASETS.register("covtype", synthetic.make_covtype_like, summary="tabular forest cover")
 
-DATASET_NAMES = tuple(_GENERATORS)
+DATASET_NAMES = DATASETS.names()
 
 
 def load_dataset(
@@ -63,12 +65,14 @@ def load_dataset(
         Forwarded to the generator (e.g. ``num_writers`` for femnist,
         ``num_features`` for rcv1).
     """
-    key = name.lower().replace("-", "")
-    if key not in _GENERATORS:
-        raise KeyError(f"unknown dataset {name!r}; available: {sorted(_GENERATORS)}")
-    generator = _GENERATORS[key]
+    try:
+        generator = DATASETS.get(name)
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_NAMES)}"
+        ) from None
     if paper_scale:
-        paper_train, paper_test = _PAPER_SIZES[key]
+        paper_train, paper_test = paper_sizes(name)
         n_train = n_train if n_train is not None else paper_train
         n_test = n_test if n_test is not None else paper_test
     if n_train is not None:

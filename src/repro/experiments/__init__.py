@@ -12,8 +12,10 @@ from repro.experiments.runner import (
     ExperimentOutcome,
     TrialSummary,
     run_federated_experiment,
+    run_spec,
     run_trials,
 )
+from repro.spec import RunSpec
 from repro.experiments.decision_tree import SkewDescription, recommend_algorithm
 from repro.experiments.leaderboard import Leaderboard
 from repro.experiments.centralized import centralized_reference, train_centralized
@@ -24,6 +26,8 @@ from repro.experiments import scale
 
 __all__ = [
     "run_federated_experiment",
+    "run_spec",
+    "RunSpec",
     "run_trials",
     "ExperimentOutcome",
     "TrialSummary",

@@ -15,8 +15,9 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.comm import CODEC_NAMES
+from repro.spec import RunSpec
 from repro.experiments.plotting import accuracy_vs_bytes_chart
-from repro.experiments.runner import run_federated_experiment
+from repro.experiments.runner import run_spec
 from repro.experiments.scale import BENCH, ScalePreset
 
 #: the default ladder: uncompressed wire, dense half-precision, 4-bit
@@ -107,6 +108,7 @@ def communication_sweep(
     codecs: Iterable = DEFAULT_CODECS,
     preset: ScalePreset = BENCH,
     seed: int = 0,
+    store=None,
     **fixed,
 ) -> CommSweepResult:
     """Run one cell per codec configuration and collect measured bytes.
@@ -116,9 +118,13 @@ def communication_sweep(
     codecs:
         Codec configurations: names from :data:`repro.comm.CODEC_NAMES`
         or dicts like ``{"codec": "qsgd", "codec_bits": 4}``.
+    store:
+        Optional :class:`~repro.experiments.store.ResultStore`; already
+        stored codec points are reloaded instead of re-run, fresh ones
+        are saved.
     fixed:
         Additional fixed arguments forwarded to
-        :func:`~repro.experiments.runner.run_federated_experiment`.
+        :meth:`~repro.spec.RunSpec.build`.
 
     All runs share the seed, so curve differences come from the codec
     alone (identity reproduces the uncompressed run bitwise).
@@ -126,11 +132,18 @@ def communication_sweep(
     result = CommSweepResult(
         dataset=dataset, partition=str(partition), algorithm=algorithm
     )
-    for spec in codecs:
-        spec = _normalize_spec(spec)
-        outcome = run_federated_experiment(
-            dataset, partition, algorithm, preset=preset, seed=seed,
-            **spec, **fixed,
-        )
-        result.histories[_label(spec)] = outcome.history
+    base = RunSpec.build(
+        dataset, partition, algorithm, preset=preset, seed=seed, **fixed
+    )
+    for codec_spec in codecs:
+        codec_spec = _normalize_spec(codec_spec)
+        point = base.with_overrides(**codec_spec)
+        if store is not None and store.completed(point):
+            history = store.history(point)
+        else:
+            outcome = run_spec(point)
+            if store is not None:
+                store.save(outcome)
+            history = outcome.history
+        result.histories[_label(codec_spec)] = history
     return result

@@ -20,8 +20,9 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.spec import RunSpec
 from repro.experiments.plotting import line_chart
-from repro.experiments.runner import run_federated_experiment
+from repro.experiments.runner import run_spec
 from repro.experiments.scale import BENCH, ScalePreset
 
 #: default ladder: fault-free baseline, mild, moderate, severe dropout
@@ -93,6 +94,7 @@ def dropout_sweep(
     dropout_probs: Iterable[float] = DEFAULT_DROPOUT_PROBS,
     preset: ScalePreset = BENCH,
     seed: int = 0,
+    store=None,
     **fixed,
 ) -> DropoutSweepResult:
     """Run one cell per dropout probability and collect the histories.
@@ -103,21 +105,32 @@ def dropout_sweep(
         Per-party per-round dropout probabilities to sweep; include
         ``0.0`` to keep the fault-free baseline
         :meth:`~DropoutSweepResult.accuracy_degradation` compares against.
+    store:
+        Optional :class:`~repro.experiments.store.ResultStore`; already
+        stored dropout points are reloaded instead of re-run, fresh ones
+        are saved.
     fixed:
         Additional fixed arguments forwarded to
-        :func:`~repro.experiments.runner.run_federated_experiment`
-        (e.g. ``straggler_prob`` / ``deadline`` to stack straggler loss
-        on top of the swept dropout).
+        :meth:`~repro.spec.RunSpec.build` (e.g. ``straggler_prob`` /
+        ``deadline`` to stack straggler loss on top of the swept
+        dropout).
     """
     probs: Sequence[float] = [float(p) for p in dropout_probs]
     result = DropoutSweepResult(
         dataset=dataset, partition=str(partition), algorithm=algorithm,
         probs=list(probs),
     )
+    base = RunSpec.build(
+        dataset, partition, algorithm, preset=preset, seed=seed, **fixed
+    )
     for prob in probs:
-        outcome = run_federated_experiment(
-            dataset, partition, algorithm, preset=preset, seed=seed,
-            dropout_prob=prob, **fixed,
-        )
-        result.histories[_label(prob)] = outcome.history
+        point = base.with_overrides(dropout_prob=prob)
+        if store is not None and store.completed(point):
+            history = store.history(point)
+        else:
+            outcome = run_spec(point)
+            if store is not None:
+                store.save(outcome)
+            history = outcome.history
+        result.histories[_label(prob)] = history
     return result

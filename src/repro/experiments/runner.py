@@ -1,8 +1,10 @@
 """One-call experiment runner implementing the paper's protocol.
 
-``run_federated_experiment`` executes a single (dataset, partition,
-algorithm) cell of Table 3; ``run_trials`` repeats it with different seeds
-and reports mean +- std, the paper's three-trial protocol.
+:func:`run_spec` executes one fully-resolved :class:`~repro.spec.RunSpec`
+— a single (dataset, partition, algorithm, ...) cell of the experimental
+matrix.  :func:`run_federated_experiment` is the stable keyword facade
+over it (flags in, spec out, run); ``run_trials`` repeats a cell over
+seeds and reports mean +- std, the paper's three-trial protocol.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from repro.federated import (
 from repro.models import build_model
 from repro.partition import Partition, parse_strategy
 from repro.partition.base import Partitioner
+from repro.spec import RunSpec
 from repro.experiments.scale import BENCH, ScalePreset
 
 #: the paper tunes lr from {0.1, 0.01, 0.001}; rcv1 uses 0.1, the rest 0.01
@@ -43,6 +46,9 @@ class ExperimentOutcome:
     partition_result: Partition
     info: DatasetInfo
     config: FederatedConfig
+    #: the resolved spec this outcome was produced from (content address
+    #: via ``spec.run_id()``); None only on outcomes built by hand.
+    spec: RunSpec | None = None
 
     @property
     def final_accuracy(self) -> float:
@@ -80,10 +86,94 @@ def paper_lr_for(dataset: str) -> float:
     return PAPER_LEARNING_RATES.get(dataset.lower().replace("-", ""), DEFAULT_LR)
 
 
+def run_spec(spec: RunSpec, resume: str | None = None) -> ExperimentOutcome:
+    """Run the experiment a :class:`~repro.spec.RunSpec` describes.
+
+    Parameters
+    ----------
+    spec:
+        A fully-resolved spec (see :meth:`RunSpec.build` /
+        :meth:`RunSpec.from_dict`).  Validated against the component
+        registries before any compute happens.
+    resume:
+        Path of a checkpoint to load before training; the run continues
+        from the checkpointed round and only executes the remaining
+        ones.  Execution state, not science — deliberately not a spec
+        field.
+
+    ``spec.seed`` controls dataset generation, partition draw, model
+    init, sampling and local shuffling — two runs of equal specs are
+    identical, and so are two specs differing only in ``spec.exec``.
+    """
+    spec.validate()
+    partitioner = parse_strategy(spec.partition.strategy)
+
+    dataset_kwargs = dict(spec.data.kwargs)
+    if spec.data.n_train is not None:
+        dataset_kwargs["n_train"] = spec.data.n_train
+    if spec.data.n_test is not None:
+        dataset_kwargs["n_test"] = spec.data.n_test
+    train, test, info = load_dataset(spec.data.name, seed=spec.seed, **dataset_kwargs)
+
+    partition_rng = np.random.default_rng(spec.seed + 17)
+    partition_result = partitioner.partition(
+        train, spec.partition.num_parties, partition_rng
+    )
+    clients = make_clients(partition_result, train, seed=spec.seed + 29, drop_empty=True)
+
+    config = FederatedConfig(
+        num_rounds=spec.train.num_rounds,
+        local_epochs=spec.train.local_epochs,
+        batch_size=spec.train.batch_size,
+        lr=spec.train.lr,
+        sample_fraction=spec.train.sample_fraction,
+        sampler=spec.train.sampler,
+        optimizer=spec.train.optimizer,
+        bn_policy=spec.train.bn_policy,
+        executor=spec.exec.executor,
+        num_workers=spec.exec.num_workers,
+        codec=spec.comm.codec,
+        codec_bits=spec.comm.bits,
+        codec_k=spec.comm.k,
+        dropout_prob=spec.faults.dropout_prob,
+        straggler_prob=spec.faults.straggler_prob,
+        straggler_factor=spec.faults.straggler_factor,
+        crash_prob=spec.faults.crash_prob,
+        deadline=spec.faults.deadline,
+        checkpoint_every=spec.exec.checkpoint_every,
+        checkpoint_path=spec.exec.checkpoint_path,
+        eval_every=spec.train.eval_every,
+        seed=spec.seed + 41,
+    )
+    net = build_model(spec.model.name, info, seed=spec.seed + 53, **spec.model.kwargs)
+    algo = make_algorithm(spec.algorithm.name, **spec.algorithm.kwargs)
+    with FederatedServer(net, algo, clients, config, test_dataset=test) as server:
+        if resume is not None:
+            server.resume(resume)
+            remaining = max(0, config.num_rounds - len(server.history))
+            history = server.fit(remaining)
+        else:
+            history = server.fit()
+
+    return ExperimentOutcome(
+        dataset=info.name,
+        partition=partition_result.strategy,
+        algorithm=spec.algorithm.name,
+        model=spec.model.name,
+        seed=spec.seed,
+        history=history,
+        partition_result=partition_result,
+        info=info,
+        config=config,
+        spec=spec,
+    )
+
+
 def run_federated_experiment(
     dataset: str,
     partition: str | Partitioner,
     algorithm: str,
+    *,
     model: str = "default",
     num_parties: int | None = None,
     preset: ScalePreset = BENCH,
@@ -113,7 +203,15 @@ def run_federated_experiment(
     dataset_kwargs: dict | None = None,
     eval_every: int = 1,
 ) -> ExperimentOutcome:
-    """Run one federated experiment cell.
+    """Run one federated experiment cell (keyword facade over :func:`run_spec`).
+
+    This signature is frozen: only ``dataset``, ``partition`` and
+    ``algorithm`` are positional, and ``tools/lint.py`` rejects growth —
+    new axes are added as :class:`~repro.spec.RunSpec` fields, not here.
+    The call builds a spec with :meth:`RunSpec.build` and executes it, so
+    ``run_federated_experiment(**kw)`` and
+    ``run_spec(RunSpec.build(**kw))`` produce bitwise-identical
+    histories.
 
     Parameters
     ----------
@@ -150,30 +248,17 @@ def run_federated_experiment(
         Controls dataset generation, partition draw, model init, sampling
         and local shuffling — two runs with equal arguments are identical.
     """
-    partitioner = parse_strategy(partition) if isinstance(partition, str) else partition
-    if num_parties is None:
-        num_parties = partitioner.default_num_parties
-
-    dataset_kwargs = dict(dataset_kwargs or {})
-    if preset.n_train is not None:
-        dataset_kwargs.setdefault("n_train", preset.n_train)
-    if preset.n_test is not None:
-        dataset_kwargs.setdefault("n_test", preset.n_test)
-    if dataset.lower().replace("-", "") == "fcube":
-        # FCUBE is defined at its paper size; keep it unless asked otherwise.
-        dataset_kwargs.pop("n_train", None)
-        dataset_kwargs.pop("n_test", None)
-    train, test, info = load_dataset(dataset, seed=seed, **dataset_kwargs)
-
-    partition_rng = np.random.default_rng(seed + 17)
-    partition_result = partitioner.partition(train, num_parties, partition_rng)
-    clients = make_clients(partition_result, train, seed=seed + 29, drop_empty=True)
-
-    config = FederatedConfig(
-        num_rounds=num_rounds if num_rounds is not None else preset.num_rounds,
-        local_epochs=local_epochs if local_epochs is not None else preset.local_epochs,
-        batch_size=batch_size if batch_size is not None else preset.batch_size,
-        lr=lr if lr is not None else paper_lr_for(dataset),
+    spec = RunSpec.build(
+        dataset,
+        partition,
+        algorithm,
+        model=model,
+        num_parties=num_parties,
+        preset=preset,
+        num_rounds=num_rounds,
+        local_epochs=local_epochs,
+        batch_size=batch_size,
+        lr=lr,
         sample_fraction=sample_fraction,
         sampler=sampler,
         optimizer=optimizer,
@@ -190,51 +275,64 @@ def run_federated_experiment(
         deadline=deadline,
         checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint_path,
-        eval_every=eval_every,
-        seed=seed + 41,
-    )
-    net = build_model(model, info, seed=seed + 53)
-    algo = make_algorithm(algorithm, **(algorithm_kwargs or {}))
-    with FederatedServer(net, algo, clients, config, test_dataset=test) as server:
-        if resume is not None:
-            server.resume(resume)
-            remaining = max(0, config.num_rounds - len(server.history))
-            history = server.fit(remaining)
-        else:
-            history = server.fit()
-
-    return ExperimentOutcome(
-        dataset=info.name,
-        partition=partition_result.strategy,
-        algorithm=algorithm,
-        model=model,
         seed=seed,
-        history=history,
-        partition_result=partition_result,
-        info=info,
-        config=config,
+        algorithm_kwargs=algorithm_kwargs,
+        dataset_kwargs=dataset_kwargs,
+        eval_every=eval_every,
     )
+    return run_spec(spec, resume=resume)
 
 
 def run_trials(
-    dataset: str,
-    partition: str | Partitioner,
-    algorithm: str,
+    dataset: str | None = None,
+    partition: str | Partitioner | None = None,
+    algorithm: str | None = None,
     num_trials: int = 3,
     base_seed: int = 0,
+    store=None,
+    spec: RunSpec | None = None,
     **kwargs,
 ) -> TrialSummary:
-    """The paper's protocol: repeat a cell over seeds, report mean +- std."""
+    """The paper's protocol: repeat a cell over seeds, report mean +- std.
+
+    Builds the base :class:`~repro.spec.RunSpec` once (or takes a
+    prebuilt one via ``spec``) and derives each trial with
+    ``with_overrides(seed=...)``.  With a ``store``
+    (:class:`~repro.experiments.store.ResultStore`), trials whose spec is
+    already :meth:`~repro.experiments.store.ResultStore.completed` are
+    read back instead of re-run, and fresh trials are saved — re-invoking
+    a finished protocol runs zero new cells.
+    """
     if num_trials <= 0:
         raise ValueError(f"num_trials must be positive, got {num_trials}")
+    if spec is not None:
+        if dataset is not None or partition is not None or algorithm is not None:
+            raise TypeError("pass either spec or dataset/partition/algorithm")
+        if kwargs:
+            raise TypeError(
+                f"spec given; unexpected keyword arguments {sorted(kwargs)} "
+                "(derive variants with spec.with_overrides instead)"
+            )
+        base = spec
+        dataset, partition, algorithm = (
+            spec.data.name, spec.partition.strategy, spec.algorithm.name
+        )
+    elif dataset is None or partition is None or algorithm is None:
+        raise TypeError("run_trials needs dataset, partition and algorithm (or spec)")
+    else:
+        base = RunSpec.build(dataset, partition, algorithm, **kwargs)
     summary = TrialSummary(
         dataset=dataset,
         partition=str(partition),
         algorithm=algorithm,
     )
     for trial in range(num_trials):
-        outcome = run_federated_experiment(
-            dataset, partition, algorithm, seed=base_seed + 1000 * trial, **kwargs
-        )
+        spec = base.with_overrides(seed=base_seed + 1000 * trial)
+        if store is not None and store.completed(spec):
+            summary.accuracies.append(float(store.get(spec)["final_accuracy"]))
+            continue
+        outcome = run_spec(spec)
+        if store is not None:
+            store.save(outcome)
         summary.accuracies.append(outcome.final_accuracy)
     return summary

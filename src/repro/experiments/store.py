@@ -1,9 +1,17 @@
 """Persistence for experiment outcomes.
 
-A :class:`ResultStore` is a directory of JSON files, one per run, holding
-the experiment key (dataset/partition/algorithm/seed), the full per-round
-history and the partition shape.  It backs the leaderboard workflow:
-accumulate runs over time, re-rank without re-running.
+A :class:`ResultStore` is a directory of JSON files, one per run, keyed
+by the spec's content hash (:meth:`repro.spec.RunSpec.run_id`) so two
+runs differing in *any* scientific field — model, codec, fault schedule,
+not just (dataset, partition, algorithm, seed) — land in different
+files.  Each record embeds the full resolved spec, which makes the store
+self-describing: ``completed(spec)`` answers "has this exact experiment
+been run?" and lets sweeps and the Table 3 driver resume a half-finished
+matrix without re-running a single cell.
+
+Files written before content addressing existed (named
+``dataset__partition__algorithm__seed.json``, no embedded spec) still
+load: every read path treats ``spec``/``run_id`` as optional.
 """
 
 from __future__ import annotations
@@ -12,13 +20,14 @@ import json
 import pathlib
 
 from repro.federated.history import History
+from repro.spec import RunSpec
 from repro.experiments.leaderboard import Leaderboard
 from repro.experiments.runner import ExperimentOutcome, TrialSummary
 
 
 def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
     """Serialize an outcome to plain JSON-compatible data."""
-    return {
+    data = {
         "dataset": outcome.dataset,
         "partition": outcome.partition,
         "algorithm": outcome.algorithm,
@@ -42,16 +51,42 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
             "codec_k": outcome.config.codec_k,
         },
     }
+    if outcome.spec is not None:
+        data["spec"] = outcome.spec.to_dict()
+        data["run_id"] = outcome.spec.run_id()
+    return data
+
+
+def _normalize_record(record: dict) -> dict:
+    """Legacy loader shim: older records carry no spec/run_id keys."""
+    record.setdefault("spec", None)
+    record.setdefault("run_id", None)
+    return record
 
 
 class ResultStore:
-    """Directory-backed store of experiment results."""
+    """Directory-backed store of experiment results, keyed by ``run_id``."""
 
     def __init__(self, root):
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
-    def _path(self, dataset: str, partition: str, algorithm: str, seed: int) -> pathlib.Path:
+    def _path(self, outcome: ExperimentOutcome) -> pathlib.Path:
+        if outcome.spec is not None:
+            return self._spec_path(outcome.spec)
+        return self._legacy_path(
+            outcome.dataset, outcome.partition, outcome.algorithm, outcome.seed
+        )
+
+    def _spec_path(self, spec: RunSpec) -> pathlib.Path:
+        # Readable prefix for humans; the run_id suffix is the key.
+        return self.root / (
+            f"{spec.data.name}__{spec.algorithm.name}__{spec.run_id()}.json"
+        )
+
+    def _legacy_path(
+        self, dataset: str, partition: str, algorithm: str, seed: int
+    ) -> pathlib.Path:
         safe_partition = (
             partition.replace("/", "_").replace("(", "_").replace(")", "")
             .replace("#", "C").replace("~", "-").replace("=", "-").replace(",", "_")
@@ -59,16 +94,45 @@ class ResultStore:
         return self.root / f"{dataset}__{safe_partition}__{algorithm}__{seed}.json"
 
     def save(self, outcome: ExperimentOutcome) -> pathlib.Path:
-        path = self._path(
-            outcome.dataset, outcome.partition, outcome.algorithm, outcome.seed
-        )
+        path = self._path(outcome)
         path.write_text(json.dumps(outcome_to_dict(outcome), indent=2))
         return path
+
+    def get(self, spec: RunSpec) -> dict | None:
+        """The stored record for this exact spec, or None.
+
+        Matches on ``run_id``, so the lookup is insensitive to the
+        ``exec`` section (a serially-computed result satisfies a
+        parallel run's query) and blind to legacy records, which carry
+        no content hash.
+        """
+        run_id = spec.run_id()
+        path = self._spec_path(spec)
+        if path.exists():
+            return _normalize_record(json.loads(path.read_text()))
+        # Files may have been renamed or copied between stores; fall back
+        # to the embedded hash.
+        for record in self.records():
+            if record["run_id"] == run_id:
+                return record
+        return None
+
+    def completed(self, spec: RunSpec) -> bool:
+        """Whether this exact experiment already has a stored result."""
+        return self.get(spec) is not None
+
+    def history(self, spec: RunSpec) -> History | None:
+        """The stored run's reloaded :class:`History`, or None."""
+        record = self.get(spec)
+        if record is None:
+            return None
+        return History.from_dict(record["history"])
 
     def records(self) -> list[dict]:
         """All stored run records, sorted by filename."""
         return [
-            json.loads(path.read_text()) for path in sorted(self.root.glob("*.json"))
+            _normalize_record(json.loads(path.read_text()))
+            for path in sorted(self.root.glob("*.json"))
         ]
 
     def query(
@@ -88,6 +152,14 @@ class ResultStore:
                 continue
             out.append(record)
         return out
+
+    def specs(self) -> list[RunSpec]:
+        """The resolved specs of every content-addressed record."""
+        return [
+            RunSpec.from_dict(record["spec"])
+            for record in self.records()
+            if record["spec"] is not None
+        ]
 
     def histories(
         self,

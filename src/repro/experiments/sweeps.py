@@ -2,8 +2,11 @@
 
 The paper's sensitivity studies all share one shape — fix a (dataset,
 partition, algorithm) cell, vary one knob, collect the training curves.
-:func:`sweep` is that shape as an API; the figure benches are thin
-wrappers over specific knobs.
+:func:`sweep` is that shape as an API: it builds one base
+:class:`~repro.spec.RunSpec` and derives each point with
+``with_overrides``, so any spec field is sweepable and a typo'd axis
+name fails loudly with the list of valid names.  The figure benches are
+thin wrappers over specific knobs.
 """
 
 from __future__ import annotations
@@ -13,18 +16,9 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.experiments.runner import run_federated_experiment
+from repro.spec import RunSpec, overridable_names
+from repro.experiments.runner import run_spec
 from repro.experiments.scale import BENCH, ScalePreset
-
-#: knobs `sweep` knows how to vary, mapped to runner keyword arguments
-SWEEPABLE = {
-    "local_epochs": "local_epochs",
-    "batch_size": "batch_size",
-    "lr": "lr",
-    "num_rounds": "num_rounds",
-    "sample_fraction": "sample_fraction",
-    "mu": None,  # special-cased: goes into algorithm_kwargs for fedprox
-}
 
 
 @dataclass
@@ -62,6 +56,7 @@ def sweep(
     algorithm: str = "fedavg",
     preset: ScalePreset = BENCH,
     seed: int = 0,
+    store=None,
     **fixed,
 ) -> SweepResult:
     """Run one experiment per value of ``parameter`` and collect curves.
@@ -69,29 +64,42 @@ def sweep(
     Parameters
     ----------
     parameter:
-        One of :data:`SWEEPABLE` (``mu`` implies ``algorithm="fedprox"``).
+        Any override :meth:`RunSpec.with_overrides` accepts — a flat
+        name like ``lr`` / ``local_epochs`` / ``dropout_prob``, a dotted
+        path like ``train.lr``, or ``mu`` (which implies
+        ``algorithm="fedprox"``).  Unknown names raise ``KeyError``
+        listing the alternatives.
     values:
         The values to try (the x-axis of the paper's sensitivity figures).
+    store:
+        Optional :class:`~repro.experiments.store.ResultStore`.  Points
+        whose spec is already stored are reloaded instead of re-run and
+        fresh points are saved, so re-invoking a finished sweep runs
+        zero new cells.
     fixed:
         Additional fixed arguments forwarded to
-        :func:`~repro.experiments.runner.run_federated_experiment`.
+        :meth:`~repro.spec.RunSpec.build`.
     """
-    if parameter not in SWEEPABLE:
-        raise KeyError(
-            f"cannot sweep {parameter!r}; sweepable: {sorted(SWEEPABLE)}"
-        )
     if parameter == "mu" and algorithm != "fedprox":
         raise ValueError("sweeping mu requires algorithm='fedprox'")
+    base = RunSpec.build(
+        dataset, partition, algorithm, preset=preset, seed=seed, **fixed
+    )
+    if parameter not in overridable_names() and "." not in parameter:
+        raise KeyError(
+            f"cannot sweep {parameter!r}; sweepable: {list(overridable_names())} "
+            "or section.field paths"
+        )
 
     result = SweepResult(parameter=parameter)
     for value in values:
-        kwargs = dict(fixed)
-        if parameter == "mu":
-            kwargs["algorithm_kwargs"] = {"mu": value}
+        point = base.with_overrides(**{parameter: value})
+        if store is not None and store.completed(point):
+            history = store.history(point)
         else:
-            kwargs[SWEEPABLE[parameter]] = value
-        outcome = run_federated_experiment(
-            dataset, partition, algorithm, preset=preset, seed=seed, **kwargs
-        )
-        result.curves[value] = np.asarray(outcome.history.accuracies)
+            outcome = run_spec(point)
+            if store is not None:
+                store.save(outcome)
+            history = outcome.history
+        result.curves[value] = np.asarray(history.accuracies)
     return result

@@ -67,6 +67,7 @@ def run_table3(
     num_trials: int = 1,
     base_seed: int = 0,
     fedprox_mu: float = 0.01,
+    store=None,
     progress=None,
 ) -> Leaderboard:
     """Run a slice of the Table 3 matrix and return the leaderboard.
@@ -80,6 +81,12 @@ def run_table3(
     preset:
         Scale preset; the paper's protocol is ``scale.PAPER`` with
         ``num_trials=3``.
+    store:
+        Optional :class:`~repro.experiments.store.ResultStore`.  Cells
+        whose spec is already stored are read back instead of re-run and
+        fresh cells are saved as they finish — a killed matrix run
+        resumes from where it stopped, and re-invoking a finished one
+        runs zero new cells.
     progress:
         Optional callback ``(dataset, partition, algorithm, summary)``
         invoked after each cell.
@@ -99,6 +106,7 @@ def run_table3(
                 num_trials=num_trials,
                 base_seed=base_seed,
                 preset=preset,
+                store=store,
                 **kwargs,
             )
             board.add(summary)

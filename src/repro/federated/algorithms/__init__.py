@@ -6,8 +6,16 @@ from repro.federated.algorithms.fedprox import FedProx
 from repro.federated.algorithms.scaffold import Scaffold
 from repro.federated.algorithms.fednova import FedNova
 from repro.federated.algorithms.fedopt import FedOpt
+from repro.registry import Registry
 
-ALGORITHM_NAMES = ("fedavg", "fedprox", "scaffold", "fednova", "fedopt")
+ALGORITHMS = Registry("algorithm")
+ALGORITHMS.register("fedavg", FedAvg, summary="weighted model averaging (Algorithm 1)")
+ALGORITHMS.register("fedprox", FedProx, summary="FedAvg + proximal term mu")
+ALGORITHMS.register("scaffold", Scaffold, summary="control-variate drift correction")
+ALGORITHMS.register("fednova", FedNova, summary="normalized averaging over tau_i")
+ALGORITHMS.register("fedopt", FedOpt, summary="server-side momentum/adaptive step")
+
+ALGORITHM_NAMES = ALGORITHMS.names()
 
 
 def make_algorithm(name: str, **kwargs) -> FedAlgorithm:
@@ -16,18 +24,12 @@ def make_algorithm(name: str, **kwargs) -> FedAlgorithm:
     ``kwargs`` are algorithm-specific: ``mu`` for FedProx, ``option`` for
     SCAFFOLD, ``server_momentum``/``variant`` for FedOpt.
     """
-    key = name.lower()
-    if key == "fedavg":
-        return FedAvg(**kwargs)
-    if key == "fedprox":
-        return FedProx(**kwargs)
-    if key == "scaffold":
-        return Scaffold(**kwargs)
-    if key == "fednova":
-        return FedNova(**kwargs)
-    if key == "fedopt":
-        return FedOpt(**kwargs)
-    raise KeyError(f"unknown algorithm {name!r}; available: {ALGORITHM_NAMES}")
+    try:
+        return ALGORITHMS.build(name, **kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {ALGORITHM_NAMES}"
+        ) from None
 
 
 __all__ = [
@@ -39,5 +41,6 @@ __all__ = [
     "FedNova",
     "FedOpt",
     "make_algorithm",
+    "ALGORITHMS",
     "ALGORITHM_NAMES",
 ]

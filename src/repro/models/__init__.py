@@ -11,7 +11,7 @@ from repro.models.cnn import PaperCNN
 from repro.models.mlp import LogisticRegression, TabularMLP
 from repro.models.vgg import VGG, vgg9
 from repro.models.resnet import ResNet, resnet8, resnet20, resnet50
-from repro.models.registry import MODEL_NAMES, build_model, default_model_for
+from repro.models.registry import MODEL_NAMES, MODELS, build_model, default_model_for
 
 __all__ = [
     "PaperCNN",
@@ -26,4 +26,5 @@ __all__ = [
     "build_model",
     "default_model_for",
     "MODEL_NAMES",
+    "MODELS",
 ]

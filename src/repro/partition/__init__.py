@@ -32,7 +32,7 @@ from repro.partition.feature_skew import (
 )
 from repro.partition.quantity_skew import QuantitySkew
 from repro.partition.mixed import MixedSkew
-from repro.partition.registry import STRATEGY_EXAMPLES, parse_strategy
+from repro.partition.registry import PARTITIONS, STRATEGY_EXAMPLES, parse_strategy
 from repro.partition import stats
 
 __all__ = [
@@ -48,5 +48,6 @@ __all__ = [
     "MixedSkew",
     "parse_strategy",
     "STRATEGY_EXAMPLES",
+    "PARTITIONS",
     "stats",
 ]

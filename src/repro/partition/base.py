@@ -115,6 +115,14 @@ class Partitioner:
     ) -> Partition:
         raise NotImplementedError
 
+    def spec_string(self) -> str:
+        """The canonical strategy notation this partitioner round-trips
+        through :func:`repro.partition.parse_strategy` — what a
+        :class:`repro.spec.PartitionSpec` records for content addressing."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define its spec notation"
+        )
+
     def _check_args(self, dataset, num_parties: int) -> None:
         if num_parties <= 0:
             raise ValueError(f"num_parties must be positive, got {num_parties}")

@@ -61,6 +61,9 @@ class NoiseBasedFeatureSkew(Partitioner):
     def __repr__(self) -> str:
         return f"NoiseBasedFeatureSkew(sigma={self.sigma})"
 
+    def spec_string(self) -> str:
+        return f"gau({self.sigma:g})"
+
 
 class FCubePartitioner(Partitioner):
     """The paper's synthetic feature-skew strategy for FCUBE.
@@ -71,6 +74,9 @@ class FCubePartitioner(Partitioner):
     differs.  The paper uses exactly 4 parties; fewer are allowed (pairs
     are distributed round-robin), more are not.
     """
+
+    def spec_string(self) -> str:
+        return "fcube"
 
     default_num_parties = 4
 
@@ -101,6 +107,9 @@ class RealWorldFeatureSkew(Partitioner):
     Requires the dataset to carry per-sample ``groups`` (writer IDs).
     Writers are divided randomly and equally among the parties.
     """
+
+    def spec_string(self) -> str:
+        return "real-world"
 
     def partition(self, dataset, num_parties: int, rng: np.random.Generator) -> Partition:
         self._check_args(dataset, num_parties)

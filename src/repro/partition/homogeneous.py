@@ -10,6 +10,9 @@ from repro.partition.base import Partition, Partitioner, split_evenly
 class HomogeneousPartitioner(Partitioner):
     """Random, equal-size split: every party sees the global distribution."""
 
+    def spec_string(self) -> str:
+        return "iid"
+
     def partition(self, dataset, num_parties: int, rng: np.random.Generator) -> Partition:
         self._check_args(dataset, num_parties)
         indices = split_evenly(np.arange(len(dataset)), num_parties, rng)

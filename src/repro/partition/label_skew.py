@@ -88,6 +88,9 @@ class QuantityBasedLabelSkew(Partitioner):
     def __repr__(self) -> str:
         return f"QuantityBasedLabelSkew(labels_per_party={self.labels_per_party})"
 
+    def spec_string(self) -> str:
+        return f"#C={self.labels_per_party}"
+
 
 class DistributionBasedLabelSkew(Partitioner):
     """The paper's ``p_k ~ Dir(beta)`` strategy.
@@ -140,3 +143,6 @@ class DistributionBasedLabelSkew(Partitioner):
 
     def __repr__(self) -> str:
         return f"DistributionBasedLabelSkew(beta={self.beta}, min_size={self.min_size})"
+
+    def spec_string(self) -> str:
+        return f"dir({self.beta:g})"

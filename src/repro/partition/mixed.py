@@ -111,3 +111,6 @@ class MixedSkew(Partitioner):
             f"MixedSkew(label_beta={self.label_beta}, "
             f"quantity_beta={self.quantity_beta}, min_size={self.min_size})"
         )
+
+    def spec_string(self) -> str:
+        return f"mixed({self.label_beta:g},{self.quantity_beta:g})"

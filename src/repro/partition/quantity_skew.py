@@ -46,3 +46,6 @@ class QuantitySkew(Partitioner):
 
     def __repr__(self) -> str:
         return f"QuantitySkew(beta={self.beta}, min_size={self.min_size})"
+
+    def spec_string(self) -> str:
+        return f"quantity({self.beta:g})"

@@ -13,6 +13,12 @@ Spec              Partitioner
 ``realworld`` / ``real-world``    RealWorldFeatureSkew
 ``quantity(0.5)`` / ``qdir(0.5)`` QuantitySkew(0.5)
 ================  ==========================================
+
+Each strategy family is an entry in the unified
+:class:`repro.registry.Registry`; the registered factory is a *parser*
+that receives the normalized spec text and returns a partitioner (or
+``None`` when the text belongs to another family).  ``parse_strategy``
+tries the families in registration order.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from repro.partition.label_skew import (
 )
 from repro.partition.quantity_skew import QuantitySkew
 from repro.partition.mixed import MixedSkew
+from repro.registry import Registry
 
 STRATEGY_EXAMPLES = (
     "iid",
@@ -48,39 +55,89 @@ STRATEGY_EXAMPLES = (
 
 _NUMBER = r"([0-9]*\.?[0-9]+)"
 
+#: strategy families; each parser takes the normalized text and returns a
+#: partitioner or None (meaning "not mine").
+PARTITIONS = Registry("partition strategy", normalize=lambda name: name)
+
+
+def _literal(texts: tuple[str, ...], cls):
+    def parse(text: str) -> Partitioner | None:
+        return cls() if text in texts else None
+
+    return parse
+
+
+def _pattern(pattern: str, build):
+    def parse(text: str) -> Partitioner | None:
+        match = re.fullmatch(pattern, text)
+        return build(match) if match else None
+
+    return parse
+
+
+PARTITIONS.register(
+    "iid",
+    _literal(("iid", "homogeneous", "homo"), HomogeneousPartitioner),
+    summary="homogeneous split (the IID baseline)",
+)
+PARTITIONS.register(
+    "#C=k",
+    _pattern(r"(?:#c=|label)(\d+)", lambda m: QuantityBasedLabelSkew(int(m.group(1)))),
+    summary="quantity-based label skew: each party sees k labels",
+)
+PARTITIONS.register(
+    "dir(beta)",
+    _pattern(
+        rf"(?:labeldir|dir|p_k~dir)\({_NUMBER}\)",
+        lambda m: DistributionBasedLabelSkew(float(m.group(1))),
+    ),
+    summary="Dirichlet label skew, p_k ~ Dir(beta)",
+)
+PARTITIONS.register(
+    "gau(sigma)",
+    _pattern(
+        rf"(?:gau|noise|x~gau)\({_NUMBER}\)",
+        lambda m: NoiseBasedFeatureSkew(float(m.group(1))),
+    ),
+    summary="noise-based feature skew, x ~ Gau(sigma)",
+)
+PARTITIONS.register(
+    "fcube",
+    _literal(("fcube",), FCubePartitioner),
+    summary="FCUBE synthetic feature skew (4 parties)",
+)
+PARTITIONS.register(
+    "real-world",
+    _literal(("realworld", "real-world", "femnist-writers"), RealWorldFeatureSkew),
+    summary="real-world skew: FEMNIST writers as parties",
+)
+PARTITIONS.register(
+    "quantity(beta)",
+    _pattern(
+        rf"(?:quantity|qdir|q~dir)\({_NUMBER}\)",
+        lambda m: QuantitySkew(float(m.group(1))),
+    ),
+    summary="quantity skew, party sizes q ~ Dir(beta)",
+)
+PARTITIONS.register(
+    "mixed(lb,qb)",
+    _pattern(
+        rf"mixed\({_NUMBER},{_NUMBER}\)",
+        lambda m: MixedSkew(
+            label_beta=float(m.group(1)), quantity_beta=float(m.group(2))
+        ),
+    ),
+    summary="label skew stacked on quantity skew",
+)
+
 
 def parse_strategy(spec: str) -> Partitioner:
     """Build a partitioner from the paper's notation (see module docstring)."""
     text = spec.strip().lower().replace(" ", "")
-    if text in ("iid", "homogeneous", "homo"):
-        return HomogeneousPartitioner()
-    if text == "fcube":
-        return FCubePartitioner()
-    if text in ("realworld", "real-world", "femnist-writers"):
-        return RealWorldFeatureSkew()
-
-    match = re.fullmatch(r"(?:#c=|label)(\d+)", text)
-    if match:
-        return QuantityBasedLabelSkew(int(match.group(1)))
-
-    match = re.fullmatch(rf"(?:labeldir|dir|p_k~dir)\({_NUMBER}\)", text)
-    if match:
-        return DistributionBasedLabelSkew(float(match.group(1)))
-
-    match = re.fullmatch(rf"(?:gau|noise|x~gau)\({_NUMBER}\)", text)
-    if match:
-        return NoiseBasedFeatureSkew(float(match.group(1)))
-
-    match = re.fullmatch(rf"(?:quantity|qdir|q~dir)\({_NUMBER}\)", text)
-    if match:
-        return QuantitySkew(float(match.group(1)))
-
-    match = re.fullmatch(rf"mixed\({_NUMBER},{_NUMBER}\)", text)
-    if match:
-        return MixedSkew(
-            label_beta=float(match.group(1)), quantity_beta=float(match.group(2))
-        )
-
+    for name in PARTITIONS:
+        partitioner = PARTITIONS.build(name, text)
+        if partitioner is not None:
+            return partitioner
     raise ValueError(
         f"cannot parse partition strategy {spec!r}; "
         f"examples: {', '.join(STRATEGY_EXAMPLES)}"

@@ -119,6 +119,76 @@ class TestNewCommands:
         out = capsys.readouterr().out
         assert "wins:" in out
 
+    def test_list_prints_all_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mnist", "dir(", "cnn", "fedavg", "qsgd"):
+            assert name in out
+
+    def test_print_spec_emits_resolved_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "run",
+                "--dataset", "adult",
+                "--partition", "iid",
+                "--alg", "fedavg",
+                "--preset", "smoke",
+                "--print-spec",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["data"]["name"] == "adult"
+        assert data["train"]["num_rounds"] > 0  # preset resolved, not None
+
+    def test_run_from_spec_file(self, capsys, tmp_path):
+        import json
+
+        main(
+            [
+                "run",
+                "--dataset", "adult",
+                "--partition", "iid",
+                "--alg", "fedavg",
+                "--preset", "smoke",
+                "--comm-round", "2",
+                "--print-spec",
+            ]
+        )
+        spec_file = tmp_path / "cell.json"
+        spec_file.write_text(capsys.readouterr().out)
+        code = main(["run", "--spec", str(spec_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+        assert "run id:" in out
+        assert json.loads(spec_file.read_text())["data"]["name"] == "adult"
+
+    def test_spec_flags_missing_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--preset", "smoke"])
+
+    def test_trials_store_resume(self, capsys, tmp_path):
+        argv = [
+            "trials",
+            "--dataset", "adult",
+            "--partition", "iid",
+            "--alg", "fedavg",
+            "--preset", "smoke",
+            "--comm-round", "2",
+            "-n", "2",
+            "--store", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        # Second invocation reloads both trials from the store.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
     def test_table3_save(self, capsys, tmp_path):
         target = tmp_path / "board.json"
         code = main(

@@ -105,6 +105,82 @@ class TestTrials:
         assert summary.accuracies[0] != summary.accuracies[1]
 
 
+class TestSpecEquivalence:
+    """The facade and run_spec are two doors to the same execution."""
+
+    def test_facade_matches_run_spec_bitwise(self):
+        from repro.experiments import run_spec
+        from repro.spec import RunSpec
+
+        kwargs = dict(preset=SMOKE, seed=3, algorithm_kwargs={"mu": 0.05})
+        via_facade = run_federated_experiment(
+            "adult", "dir(0.5)", "fedprox", **kwargs
+        )
+        via_spec = run_spec(RunSpec.build("adult", "dir(0.5)", "fedprox", **kwargs))
+        assert [r.to_dict() for r in via_facade.history.records] == [
+            r.to_dict() for r in via_spec.history.records
+        ]
+
+    def test_spec_json_file_reproduces_flag_run(self, tmp_path):
+        import json
+
+        from repro.experiments import run_spec
+        from repro.spec import RunSpec
+
+        flag_run = run_federated_experiment("adult", "iid", "fedavg", preset=SMOKE, seed=2)
+        spec_file = tmp_path / "cell.json"
+        spec_file.write_text(flag_run.spec.to_json())
+        file_run = run_spec(RunSpec.from_dict(json.loads(spec_file.read_text())))
+        assert [r.to_dict() for r in file_run.history.records] == [
+            r.to_dict() for r in flag_run.history.records
+        ]
+
+    def test_outcome_carries_spec(self):
+        out = run_federated_experiment("adult", "iid", "fedavg", preset=SMOKE, seed=0)
+        assert out.spec is not None
+        assert out.spec.data.name == "adult"
+        assert out.spec.run_id() == out.spec.run_id()
+
+
+class TestTrialsWithStore:
+    def test_second_invocation_runs_zero_new_cells(self, tmp_path, monkeypatch):
+        from repro.experiments import runner as runner_module
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        first = run_trials(
+            "adult", "iid", "fedavg", num_trials=2, preset=SMOKE,
+            base_seed=0, store=store,
+        )
+        assert len(store) == 2
+
+        def _boom(spec, resume=None):
+            raise AssertionError("stored trial re-ran")
+
+        monkeypatch.setattr(runner_module, "run_spec", _boom)
+        again = run_trials(
+            "adult", "iid", "fedavg", num_trials=2, preset=SMOKE,
+            base_seed=0, store=store,
+        )
+        assert again.accuracies == first.accuracies
+
+    def test_spec_argument_exclusive_with_cell_args(self):
+        from repro.spec import RunSpec
+
+        spec = RunSpec.build("adult", "iid", "fedavg", preset=SMOKE)
+        with pytest.raises(TypeError):
+            run_trials("adult", "iid", "fedavg", spec=spec)
+        with pytest.raises(TypeError):
+            run_trials(spec=spec, preset=SMOKE)
+
+    def test_prebuilt_spec_runs(self):
+        from repro.spec import RunSpec
+
+        spec = RunSpec.build("adult", "iid", "fedavg", preset=SMOKE)
+        summary = run_trials(num_trials=1, spec=spec)
+        assert len(summary.accuracies) == 1
+
+
 class TestDecisionTree:
     @pytest.mark.parametrize(
         "spec,expected",

@@ -89,3 +89,84 @@ class TestResultStore:
         path = store.save(out)
         assert "(" not in path.name
         assert "~" not in path.name
+
+
+class TestContentAddressing:
+    """Files are keyed by run_id, so *any* scientific field separates runs."""
+
+    def test_codec_variants_do_not_collide(self, tmp_path):
+        # The old (dataset, partition, algorithm, seed) filename scheme
+        # silently overwrote one of these two runs.
+        store = ResultStore(tmp_path)
+        plain = run_federated_experiment("adult", "iid", "fedavg", preset=SMOKE, seed=1)
+        compressed = run_federated_experiment(
+            "adult", "iid", "fedavg", preset=SMOKE, seed=1, codec="float16"
+        )
+        store.save(plain)
+        store.save(compressed)
+        assert len(store) == 2
+
+    def test_filename_carries_run_id(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(outcome)
+        assert outcome.spec.run_id() in path.name
+        assert path.name.startswith("adult__fedavg__")
+
+    def test_completed_and_get(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.completed(outcome.spec)
+        store.save(outcome)
+        assert store.completed(outcome.spec)
+        record = store.get(outcome.spec)
+        assert record["final_accuracy"] == outcome.final_accuracy
+        assert record["run_id"] == outcome.spec.run_id()
+
+    def test_completed_ignores_exec_settings(self, outcome, tmp_path):
+        # A serially-computed result satisfies a parallel run's lookup.
+        store = ResultStore(tmp_path)
+        store.save(outcome)
+        parallel = outcome.spec.with_overrides(executor="process", num_workers=4)
+        assert store.completed(parallel)
+
+    def test_get_falls_back_to_embedded_run_id(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(outcome)
+        path.rename(path.with_name("renamed-by-hand.json"))
+        assert store.completed(outcome.spec)
+
+    def test_history_reloads(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(outcome)
+        history = store.history(outcome.spec)
+        assert [r.to_dict() for r in history.records] == [
+            r.to_dict() for r in outcome.history.records
+        ]
+
+    def test_specs_round_trip(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(outcome)
+        (spec,) = store.specs()
+        assert spec == outcome.spec
+
+
+class TestLegacyRecords:
+    def test_pre_spec_files_still_load(self, outcome, tmp_path):
+        import json
+
+        store = ResultStore(tmp_path)
+        legacy = outcome_to_dict(outcome)
+        del legacy["spec"]
+        del legacy["run_id"]
+        (tmp_path / "adult__homogeneous__fedavg__1.json").write_text(
+            json.dumps(legacy)
+        )
+        (record,) = store.records()
+        assert record["spec"] is None
+        assert record["run_id"] is None
+        assert record["final_accuracy"] == outcome.final_accuracy
+        # Legacy records carry no hash, so they never satisfy completed().
+        assert not store.completed(outcome.spec)
+        assert store.specs() == []
+        # But analysis surfaces still see them.
+        assert len(store.histories(dataset="adult")) == 1
+        assert store.leaderboard().settings == [("adult", "homogeneous")]

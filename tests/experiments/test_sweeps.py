@@ -59,3 +59,42 @@ class TestSweep:
     def test_batch_size_sweep_changes_trajectories(self):
         result = sweep("batch_size", [8, 64], "adult", "dir(0.5)", preset=TINY, seed=1)
         assert not np.allclose(result.curves[8], result.curves[64])
+
+    def test_dotted_path_parameter(self):
+        result = sweep("train.local_epochs", [1, 2], "adult", "iid", preset=TINY, seed=1)
+        assert set(result.curves) == {1, 2}
+
+    def test_unknown_parameter_lists_alternatives(self):
+        with pytest.raises(KeyError, match="dropout_prob"):
+            sweep("dropout", [0.1], "adult", "iid", preset=TINY)
+
+
+class TestSweepResume:
+    def test_rerun_executes_zero_new_cells(self, tmp_path, monkeypatch):
+        from repro.experiments import sweeps as sweeps_module
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        first = sweep(
+            "local_epochs", [1, 2], "adult", "iid", preset=TINY, seed=1, store=store
+        )
+        assert len(store) == 2
+
+        def _boom(spec, resume=None):
+            raise AssertionError("stored sweep point re-ran")
+
+        monkeypatch.setattr(sweeps_module, "run_spec", _boom)
+        again = sweep(
+            "local_epochs", [1, 2], "adult", "iid", preset=TINY, seed=1, store=store
+        )
+        for value in (1, 2):
+            assert np.array_equal(again.curves[value], first.curves[value])
+
+    def test_partial_store_runs_only_missing_points(self, tmp_path):
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        sweep("local_epochs", [1], "adult", "iid", preset=TINY, seed=1, store=store)
+        assert len(store) == 1
+        sweep("local_epochs", [1, 2], "adult", "iid", preset=TINY, seed=1, store=store)
+        assert len(store) == 2

@@ -58,3 +58,28 @@ class TestRunTable3:
 
     def test_default_algorithms_are_the_papers_four(self):
         assert ALGORITHMS == ("fedavg", "fedprox", "scaffold", "fednova")
+
+    def test_rerun_against_populated_store_runs_zero_new_cells(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.experiments import runner as runner_module
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        slice_kwargs = dict(
+            datasets=["adult"],
+            partitions=["iid"],
+            algorithms=("fedavg", "fedprox"),
+            preset=SMOKE,
+            num_trials=1,
+            store=store,
+        )
+        first = run_table3(**slice_kwargs)
+        assert len(store) == 2  # one file per (algorithm, trial)
+
+        def _boom(spec, resume=None):
+            raise AssertionError("stored Table 3 cell re-ran")
+
+        monkeypatch.setattr(runner_module, "run_spec", _boom)
+        again = run_table3(**slice_kwargs)
+        assert again.ranking("adult", "iid") == first.ranking("adult", "iid")

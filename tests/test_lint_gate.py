@@ -1,0 +1,49 @@
+"""Tests for the facade-freeze check in ``tools/lint.py``."""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location("lint_gate", REPO / "tools" / "lint.py")
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+class TestFacadeFreeze:
+    def test_current_facade_passes(self):
+        assert lint.check_facade_frozen(REPO / lint.FACADE_FILE) == []
+
+    def test_positional_growth_rejected(self, tmp_path):
+        bad = tmp_path / "runner.py"
+        bad.write_text(
+            "def run_federated_experiment(dataset, partition, algorithm, model):\n"
+            "    pass\n"
+        )
+        problems = lint.check_facade_frozen(bad)
+        assert len(problems) == 1
+        assert "positional" in problems[0]
+
+    def test_var_positional_rejected(self, tmp_path):
+        bad = tmp_path / "runner.py"
+        bad.write_text(
+            "def run_federated_experiment(dataset, partition, algorithm, *args):\n"
+            "    pass\n"
+        )
+        (problem,) = lint.check_facade_frozen(bad)
+        assert "*args" in problem
+
+    def test_keyword_only_growth_allowed(self, tmp_path):
+        good = tmp_path / "runner.py"
+        good.write_text(
+            "def run_federated_experiment(dataset, partition, algorithm, *,\n"
+            "                             model='default', new_axis=None):\n"
+            "    pass\n"
+        )
+        assert lint.check_facade_frozen(good) == []
+
+    def test_missing_facade_reported(self, tmp_path):
+        empty = tmp_path / "runner.py"
+        empty.write_text("x = 1\n")
+        (problem,) = lint.check_facade_frozen(empty)
+        assert "not found" in problem

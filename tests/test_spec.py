@@ -1,0 +1,284 @@
+"""Tests for the typed, content-addressed experiment spec (``RunSpec``)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.spec import (
+    OVERRIDE_PATHS,
+    AlgorithmSpec,
+    DataSpec,
+    PartitionSpec,
+    RunSpec,
+    TrainSpec,
+    overridable_names,
+)
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def make_spec(**build_kwargs) -> RunSpec:
+    from repro.experiments.scale import SMOKE
+
+    build_kwargs.setdefault("preset", SMOKE)
+    return RunSpec.build("adult", "dir(0.5)", "fedprox", **build_kwargs)
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_equal(self):
+        spec = make_spec(algorithm_kwargs={"mu": 0.1}, seed=7)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = make_spec()
+        again = RunSpec.from_dict(json.loads(spec.to_json()))
+        assert again == spec
+        assert again.run_id() == spec.run_id()
+
+    def test_missing_sections_get_defaults(self):
+        spec = RunSpec.from_dict(
+            {
+                "data": {"name": "adult", "n_train": 100, "n_test": 50},
+                "partition": {"strategy": "iid"},
+                "algorithm": {"name": "fedavg"},
+                "train": {
+                    "num_rounds": 2, "local_epochs": 1,
+                    "batch_size": 32, "lr": 0.01,
+                },
+            }
+        )
+        assert spec.comm.codec == "identity"
+        assert spec.faults.dropout_prob == 0.0
+        assert spec.exec.executor == "auto"
+        assert spec.seed == 0
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown RunSpec sections"):
+            RunSpec.from_dict({**make_spec().to_dict(), "extras": {}})
+
+    def test_unknown_field_rejected(self):
+        data = make_spec().to_dict()
+        data["train"]["learning_rate"] = 0.1  # typo'd field name
+        with pytest.raises(ValueError, match="learning_rate"):
+            RunSpec.from_dict(data)
+
+    def test_non_serializable_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="JSON-serializable"):
+            make_spec(algorithm_kwargs={"mu": object()})
+
+
+class TestRunId:
+    def test_deterministic_within_process(self):
+        assert make_spec(seed=3).run_id() == make_spec(seed=3).run_id()
+
+    def test_sixteen_hex_digits(self):
+        run_id = make_spec().run_id()
+        assert len(run_id) == 16
+        int(run_id, 16)
+
+    def test_every_scientific_override_changes_it(self):
+        spec = make_spec()
+        base = spec.run_id()
+        changed = {
+            "dataset": "mnist",
+            "n_train": 999,
+            "n_test": 111,
+            "partition": "#C=2",
+            "num_parties": 7,
+            "model": "mlp",
+            "algorithm": "scaffold",
+            "num_rounds": 99,
+            "local_epochs": 9,
+            "batch_size": 16,
+            "lr": 0.5,
+            "optimizer": "sgd_momentum",
+            "sample_fraction": 0.5,
+            "sampler": "weighted",
+            "bn_policy": "fedbn",
+            "eval_every": 5,
+            "codec": "qsgd",
+            "codec_bits": 4,
+            "codec_k": 0.25,
+            "dropout_prob": 0.3,
+            "straggler_prob": 0.2,
+            "straggler_factor": 0.5,
+            "crash_prob": 0.1,
+            "deadline": 1.5,
+            "seed": 12345,
+            "mu": 0.9,
+        }
+        for name, value in changed.items():
+            assert spec.with_overrides(**{name: value}).run_id() != base, name
+
+    def test_exec_fields_do_not_change_it(self):
+        spec = make_spec()
+        base = spec.run_id()
+        for name, value in {
+            "executor": "process",
+            "num_workers": 4,
+            "checkpoint_every": 2,
+            "checkpoint_path": "ckpt.npz",
+        }.items():
+            assert spec.with_overrides(**{name: value}).run_id() == base, name
+
+    def test_stable_across_hash_seeds(self):
+        """run_id survives process boundaries and PYTHONHASHSEED changes."""
+        spec = make_spec(seed=11)
+        script = (
+            "import json, sys\n"
+            "from repro.spec import RunSpec\n"
+            "print(RunSpec.from_dict(json.loads(sys.argv[1])).run_id())\n"
+        )
+        for hash_seed in ("0", "1", "4242"):
+            env = {
+                **os.environ,
+                "PYTHONHASHSEED": hash_seed,
+                "PYTHONPATH": str(SRC),
+            }
+            out = subprocess.run(
+                [sys.executable, "-c", script, spec.to_json(indent=None)],
+                env=env, capture_output=True, text=True, check=True,
+            )
+            assert out.stdout.strip() == spec.run_id()
+
+
+class TestWithOverrides:
+    def test_returns_new_spec(self):
+        spec = make_spec()
+        other = spec.with_overrides(lr=0.5)
+        assert other.train.lr == 0.5
+        assert spec.train.lr != 0.5  # original untouched
+
+    def test_mu_alias_merges_algorithm_kwargs(self):
+        spec = make_spec(algorithm_kwargs={"mu": 0.01})
+        other = spec.with_overrides(mu=0.9)
+        assert other.algorithm.kwargs == {"mu": 0.9}
+
+    def test_dotted_path(self):
+        spec = make_spec().with_overrides(**{"train.lr": 0.25})
+        assert spec.train.lr == 0.25
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="dropout_prob"):
+            make_spec().with_overrides(dropout=0.1)
+
+    def test_unknown_dotted_field_rejected(self):
+        with pytest.raises(KeyError):
+            make_spec().with_overrides(**{"train.momentum": 0.9})
+
+    def test_override_paths_cover_spec_fields(self):
+        # Every flat name must resolve to a real dataclass field.
+        import dataclasses
+
+        from repro.spec import SECTIONS
+
+        for name, (section, attr) in OVERRIDE_PATHS.items():
+            if section is None:
+                assert attr == "seed"
+                continue
+            fields = {f.name for f in dataclasses.fields(SECTIONS[section])}
+            assert attr in fields, name
+        assert "mu" in overridable_names()
+
+
+class TestBuild:
+    def test_preset_defaults_applied(self):
+        from repro.experiments.scale import SMOKE
+
+        spec = make_spec()
+        assert spec.data.n_train == SMOKE.n_train
+        assert spec.train.num_rounds == SMOKE.num_rounds
+
+    def test_paper_lr_resolution(self):
+        assert make_spec().train.lr == 0.01
+        rcv1 = RunSpec.build("rcv1", "iid", "fedavg")
+        assert rcv1.train.lr == 0.1
+
+    def test_fcube_keeps_paper_size(self):
+        spec = RunSpec.build("fcube", "fcube", "fedavg")
+        assert spec.data.n_train is None
+        assert spec.data.n_test is None
+        assert spec.partition.num_parties == 4
+
+    def test_partitioner_instance_recorded_canonically(self):
+        from repro.partition import DistributionBasedLabelSkew
+
+        spec = RunSpec.build(
+            "adult", DistributionBasedLabelSkew(beta=0.5), "fedavg"
+        )
+        assert spec.partition.strategy == "dir(0.5)"
+
+    def test_phrasing_does_not_change_run_id(self):
+        from repro.partition import parse_strategy
+
+        by_string = RunSpec.build("adult", "dir(0.5)", "fedavg", seed=3)
+        by_instance = RunSpec.build(
+            "adult", parse_strategy("dir(0.5)"), "fedavg", seed=3
+        )
+        assert by_string.run_id() == by_instance.run_id()
+
+
+class TestSpecStrings:
+    def test_all_strategy_examples_round_trip(self):
+        from repro.partition import STRATEGY_EXAMPLES, parse_strategy
+
+        for example in STRATEGY_EXAMPLES:
+            partitioner = parse_strategy(example)
+            again = parse_strategy(partitioner.spec_string())
+            assert repr(again) == repr(partitioner), example
+
+
+class TestValidate:
+    def test_valid_spec_returns_self(self):
+        spec = make_spec()
+        assert spec.validate() is spec
+
+    @pytest.mark.parametrize(
+        "override,fragment",
+        [
+            ({"dataset": "imagenet"}, "unknown dataset"),
+            ({"model": "transformer"}, "unknown model"),
+            ({"algorithm": "fedsgd"}, "unknown algorithm"),
+            ({"codec": "zip"}, "unknown codec"),
+            ({"partition": "zipf(2)"}, "zipf"),
+            ({"num_parties": 0}, "num_parties"),
+            ({"num_rounds": 0}, "num_rounds"),
+            ({"lr": -1.0}, "lr"),
+            ({"sample_fraction": 0.0}, "sample_fraction"),
+        ],
+    )
+    def test_invalid_specs_rejected(self, override, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            make_spec().with_overrides(**override).validate()
+
+    def test_problems_collected_together(self):
+        bad = make_spec().with_overrides(dataset="imagenet", codec="zip")
+        with pytest.raises(ValueError) as excinfo:
+            bad.validate()
+        assert "imagenet" in str(excinfo.value)
+        assert "zip" in str(excinfo.value)
+
+
+class TestDescribe:
+    def test_mentions_cell_and_run_id(self):
+        spec = make_spec(seed=5)
+        text = spec.describe()
+        assert "adult" in text
+        assert "dir(0.5)" in text
+        assert spec.run_id() in text
+
+
+class TestConstruction:
+    def test_minimal_direct_construction(self):
+        spec = RunSpec(
+            data=DataSpec(name="adult", n_train=100, n_test=50),
+            partition=PartitionSpec(strategy="iid"),
+            algorithm=AlgorithmSpec(name="fedavg"),
+            train=TrainSpec(num_rounds=2, local_epochs=1, batch_size=32, lr=0.01),
+        )
+        assert spec.validate() is spec
+        assert RunSpec.from_dict(spec.to_dict()) == spec

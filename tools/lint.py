@@ -143,11 +143,59 @@ def _fallback(roots: list[str]) -> int:
     return 1 if problems else 0
 
 
+#: the frozen facade: only these parameters may be positional; every other
+#: parameter must be keyword-only.  New experiment axes belong on RunSpec.
+FACADE_FILE = Path("src/repro/experiments/runner.py")
+FACADE_NAME = "run_federated_experiment"
+FACADE_POSITIONAL = ("dataset", "partition", "algorithm")
+
+
+def check_facade_frozen(path: Path = FACADE_FILE) -> list[str]:
+    """Reject positional-parameter growth on the runner facade.
+
+    ``run_federated_experiment`` is the stable public entry point; adding
+    positional parameters would silently shift every existing call site.
+    This check pins the signature shape: exactly ``dataset, partition,
+    algorithm`` before the ``*``, everything else keyword-only.
+    """
+    if not path.is_file():
+        return [f"{path}: missing (facade-freeze check expects it here)"]
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError:
+        return []  # the syntax error is reported by the main lint pass
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == FACADE_NAME:
+            positional = tuple(
+                arg.arg for arg in node.args.posonlyargs + node.args.args
+            )
+            if positional != FACADE_POSITIONAL:
+                return [
+                    f"{path}:{node.lineno}: {FACADE_NAME} must keep exactly "
+                    f"{FACADE_POSITIONAL} as positional parameters "
+                    f"(got {positional}); add new axes as keyword-only "
+                    "arguments backed by RunSpec fields instead"
+                ]
+            if node.args.vararg is not None:
+                return [
+                    f"{path}:{node.lineno}: {FACADE_NAME} must not grow "
+                    "*args; add new axes as keyword-only arguments backed "
+                    "by RunSpec fields instead"
+                ]
+            return []
+    return [f"{path}: {FACADE_NAME} not found (facade-freeze check)"]
+
+
 def main(argv: list[str] | None = None) -> int:
     roots = (argv if argv is not None else sys.argv[1:]) or ["src", "tests"]
     code = _try_external(roots)
     if code is None:
         code = _fallback(roots)
+    facade_problems = check_facade_frozen()
+    for problem in facade_problems:
+        print(problem)
+    if facade_problems:
+        code = code or 1
     if code == 0:
         print("lint: clean")
     return code
