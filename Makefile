@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint bench
+.PHONY: test test-fast lint bench bench-smoke
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -16,3 +16,8 @@ lint:
 
 bench:
 	$(PYTHON) -m repro.experiments.bench --output BENCH_core.json
+
+# Seconds-scale sanity pass over every bench section; deliberately not
+# part of `make test` — it proves the benchmarks run, not the numbers.
+bench-smoke:
+	$(PYTHON) -m repro.experiments.bench --smoke --output BENCH_smoke.json

@@ -177,6 +177,10 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         "--resume", default=None, metavar="CHECKPOINT",
         help="resume a run from this checkpoint file",
     )
+    parser.add_argument(
+        "--compile", action=argparse.BooleanOptionalAction, default=False,
+        help="capture & replay training steps (bitwise-identical, faster)",
+    )
     parser.add_argument("--preset", default="bench", choices=sorted(PRESETS))
     parser.add_argument("--init-seed", type=int, default=0)
     parser.add_argument(
@@ -210,6 +214,7 @@ def _build_kwargs(args) -> dict:
         deadline=args.deadline,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_path,
+        compile=args.compile,
         algorithm_kwargs=algorithm_kwargs,
     )
 

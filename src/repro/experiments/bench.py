@@ -39,10 +39,17 @@ from repro.federated import (
     FedAvg,
     FederatedConfig,
     FederatedServer,
+    evaluate,
+    evaluate_accuracy,
+    evaluate_loss,
     make_clients,
 )
 from repro.federated.executor import fork_available
 from repro.federated.trainer import run_local_training
+from repro.grad import functional as F
+from repro.grad.capture import training_engine
+from repro.grad.optim import SGD
+from repro.grad.tensor import Tensor
 from repro.models import build_model
 from repro.partition import HomogeneousPartitioner
 
@@ -84,6 +91,24 @@ def _time(fn, repeats: int) -> float:
     return best
 
 
+def _duel(fns, repeats: int) -> list[float]:
+    """Best-of-``repeats`` wall time for each ``fn``, interleaved.
+
+    Comparative benchmarks must not time one path's repeats back to back
+    and then the other's: on a shared host, background load drifts over
+    seconds, and whichever path runs second absorbs a different machine.
+    Alternating the paths within every repeat round exposes both to the
+    same drift, so the per-path minima are actually comparable.
+    """
+    best = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[index] = min(best[index], time.perf_counter() - start)
+    return best
+
+
 def bench_local_round(repeats: int = 3, seed: int = 0) -> dict:
     """Time one party's local training round on the paper CNN."""
     model, clients = _build_fixture(seed=seed)
@@ -105,6 +130,126 @@ def bench_local_round(repeats: int = 3, seed: int = 0) -> dict:
     }
 
 
+def _step_fixture(name: str, seed: int = 0, batch_size: int = 32):
+    """A (model, features, labels) triple for the step benchmarks."""
+    _, _, info = load_dataset("mnist", n_train=64, n_test=16, seed=seed)
+    model = build_model(name, info, seed=seed + 53)
+    rng = np.random.default_rng(seed + 5)
+    shape = (batch_size, *info.input_shape)
+    if name in ("mlp", "logistic"):
+        shape = (batch_size, info.num_features)
+    features = rng.standard_normal(shape).astype(np.float32)
+    labels = rng.integers(0, info.num_classes, size=batch_size)
+    return model, features, labels
+
+
+def _alloc_stats(fn) -> tuple[int, int]:
+    """(peak traced bytes, allocation block count) of one call to ``fn``."""
+    import gc
+    import tracemalloc
+
+    gc.collect()
+    tracemalloc.start()
+    try:
+        fn()
+        snapshot = tracemalloc.take_snapshot()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    blocks = sum(stat.count for stat in snapshot.statistics("filename"))
+    return peak, blocks
+
+
+def bench_compiled_step(
+    repeats: int = 3, seed: int = 0, steps: int = 20
+) -> list[dict]:
+    """Eager vs captured-replay training steps (see repro.grad.capture).
+
+    Times ``steps`` full SGD steps both ways on the paper MLP and CNN,
+    and records tracemalloc peak bytes / allocation counts for a single
+    step — the replay path's whole point is reusing one buffer arena
+    instead of re-allocating the graph every step.
+    """
+    rows = []
+    for name in ("mlp", "cnn"):
+
+        def make_runner(compiled):
+            model, features, labels = _step_fixture(name, seed=seed)
+            model.train()
+            optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
+            engine = training_engine(model) if compiled else None
+
+            def one_step():
+                optimizer.zero_grad()
+                loss_value = (
+                    engine.step(features, labels) if engine is not None else None
+                )
+                if loss_value is None:
+                    loss = F.cross_entropy(model(Tensor(features)), labels)
+                    loss.backward()
+                    loss_value = loss.item()
+                optimizer.step()
+                return loss_value
+
+            one_step()  # warm-up: the capture step (or eager cache fills)
+            return one_step
+
+        eager_step = make_runner(False)
+        replay_step = make_runner(True)
+
+        def run_many(step_fn):
+            return lambda: [step_fn() for _ in range(steps)]
+
+        eager_s, replay_s = (
+            t / steps
+            for t in _duel([run_many(eager_step), run_many(replay_step)], repeats)
+        )
+        eager_peak, eager_blocks = _alloc_stats(eager_step)
+        replay_peak, replay_blocks = _alloc_stats(replay_step)
+        rows.append(
+            {
+                "model": name,
+                "eager_seconds_per_step": round(eager_s, 6),
+                "compiled_seconds_per_step": round(replay_s, 6),
+                "speedup": round(eager_s / replay_s, 2) if replay_s > 0 else None,
+                "eager_alloc_peak_bytes": eager_peak,
+                "compiled_alloc_peak_bytes": replay_peak,
+                "eager_alloc_blocks": eager_blocks,
+                "compiled_alloc_blocks": replay_blocks,
+            }
+        )
+    return rows
+
+
+def bench_eval_fastpath(repeats: int = 3, seed: int = 0, n_test: int = 512) -> dict:
+    """Two-pass vs fused vs captured-replay evaluation of the bench CNN."""
+    _, test, info = load_dataset("mnist", n_train=64, n_test=n_test, seed=seed)
+    model = build_model("cnn", info, seed=seed + 53)
+
+    def two_pass():
+        # The pre-fusion server cost: separate accuracy and loss passes.
+        return evaluate_accuracy(model, test), evaluate_loss(model, test)
+
+    def fused():
+        return evaluate(model, test)
+
+    def fused_compiled():
+        return evaluate(model, test, compiled=True)
+
+    fused_compiled()  # warm-up: captures the inference program
+    two_pass_s, fused_s, compiled_s = _duel(
+        [two_pass, fused, fused_compiled], repeats
+    )
+    return {
+        "num_samples": n_test,
+        "two_pass_seconds": round(two_pass_s, 5),
+        "fused_seconds": round(fused_s, 5),
+        "fused_compiled_seconds": round(compiled_s, 5),
+        "speedup_fused_vs_two_pass": round(two_pass_s / fused_s, 2),
+        "speedup_compiled_vs_two_pass": round(two_pass_s / compiled_s, 2),
+    }
+
+
 def bench_federated_round(
     num_workers: int, repeats: int = 2, seed: int = 0
 ) -> dict:
@@ -114,7 +259,12 @@ def bench_federated_round(
     billed to the measured rounds.
     """
     model, clients = _build_fixture(seed=seed)
-    config = _config(num_workers=num_workers)
+    # Explicit backend: "auto" would degrade to serial on a single-CPU
+    # host and this benchmark would silently time the wrong thing.
+    config = _config(
+        num_workers=num_workers,
+        executor="parallel" if num_workers >= 2 else "serial",
+    )
     with FederatedServer(model, FedAvg(), clients, config) as server:
         server.fit(1)  # warm-up (forks the pool when num_workers >= 2)
         seconds = _time(lambda: server.fit(1), repeats)
@@ -270,9 +420,18 @@ def _hardware_note(cpu_count: int, worker_counts: list[int]) -> str:
 
 
 def run_benchmarks(
-    repeats: int = 2, worker_counts: tuple[int, ...] = (0, 2, 4), seed: int = 0
+    repeats: int = 2,
+    worker_counts: tuple[int, ...] = (0, 2, 4),
+    seed: int = 0,
+    smoke: bool = False,
 ) -> dict:
-    """Run all micro-benchmarks and return the report dict."""
+    """Run all micro-benchmarks and return the report dict.
+
+    ``smoke`` shrinks every section to a seconds-scale sanity pass —
+    enough to prove the benchmarks run, not to produce stable numbers.
+    """
+    if smoke:
+        repeats, worker_counts = 1, tuple(w for w in worker_counts if w == 0)
     cpu_count = os.cpu_count() or 1
     bad = [w for w in worker_counts if w < 0 or w == 1]
     if bad:
@@ -294,14 +453,32 @@ def run_benchmarks(
             "numpy": np.__version__,
             "fork_available": fork_available(),
         },
-        "local_round": bench_local_round(repeats=max(repeats, 3), seed=seed),
+        "local_round": bench_local_round(
+            repeats=repeats if smoke else max(repeats, 3), seed=seed
+        ),
+        # More duel rounds than elsewhere: the eager/replay ratio is the
+        # headline number and each interleaved round is only ~1s.
+        "compiled_step": bench_compiled_step(
+            repeats=repeats if smoke else max(repeats, 8),
+            seed=seed,
+            steps=5 if smoke else 20,
+        ),
+        "eval_fastpath": bench_eval_fastpath(
+            repeats=repeats if smoke else max(repeats, 3),
+            seed=seed,
+            n_test=128 if smoke else 512,
+        ),
         "federated_round": [
             bench_federated_round(w, repeats=repeats, seed=seed)
             for w in worker_counts
         ],
-        "codec_throughput": bench_codecs(repeats=max(repeats, 3), seed=seed),
+        "codec_throughput": bench_codecs(
+            repeats=repeats if smoke else max(repeats, 3), seed=seed
+        ),
         "round_bytes": bench_round_bytes(seed=seed),
-        "accuracy_under_dropout": bench_dropout(seed=seed),
+        "accuracy_under_dropout": bench_dropout(
+            num_rounds=2 if smoke else 4, seed=seed
+        ),
     }
     serial = next(
         (r for r in report["federated_round"] if r["num_workers"] == 0), None
@@ -333,8 +510,15 @@ def main(argv: list[str] | None = None) -> int:
         default=[0, 2, 4],
         help="worker counts to benchmark (0 = serial)",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale sanity run (small sizes, serial only)",
+    )
     args = parser.parse_args(argv)
-    report = run_benchmarks(repeats=args.repeats, worker_counts=tuple(args.workers))
+    report = run_benchmarks(
+        repeats=args.repeats, worker_counts=tuple(args.workers), smoke=args.smoke
+    )
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     return 0

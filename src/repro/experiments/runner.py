@@ -142,6 +142,7 @@ def run_spec(spec: RunSpec, resume: str | None = None) -> ExperimentOutcome:
         deadline=spec.faults.deadline,
         checkpoint_every=spec.exec.checkpoint_every,
         checkpoint_path=spec.exec.checkpoint_path,
+        compile=spec.exec.compile,
         eval_every=spec.train.eval_every,
         seed=spec.seed + 41,
     )
@@ -197,6 +198,7 @@ def run_federated_experiment(
     deadline: float | None = None,
     checkpoint_every: int = 0,
     checkpoint_path: str | None = None,
+    compile: bool = False,
     resume: str | None = None,
     seed: int = 0,
     algorithm_kwargs: dict | None = None,
@@ -241,6 +243,10 @@ def run_federated_experiment(
         ``None`` by default, i.e. the fault-free synchronous protocol.
     checkpoint_every / checkpoint_path:
         Write a full run checkpoint to ``checkpoint_path`` every k rounds.
+    compile:
+        Capture & replay training/inference steps through preallocated
+        buffers (see :mod:`repro.grad.capture`); bitwise-identical to
+        eager execution, purely a speed knob.
     resume:
         Path of a checkpoint to load before training; the run continues
         from the checkpointed round and only executes the remaining ones.
@@ -275,6 +281,7 @@ def run_federated_experiment(
         deadline=deadline,
         checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint_path,
+        compile=compile,
         seed=seed,
         algorithm_kwargs=algorithm_kwargs,
         dataset_kwargs=dataset_kwargs,

@@ -26,7 +26,13 @@ from repro.federated.algorithms import (
     Scaffold,
     make_algorithm,
 )
-from repro.federated.evaluation import evaluate_accuracy, evaluate_per_party
+from repro.federated.evaluation import (
+    EvalResult,
+    evaluate,
+    evaluate_accuracy,
+    evaluate_loss,
+    evaluate_per_party,
+)
 from repro.federated.executor import (
     ClientExecutor,
     ParallelExecutor,
@@ -55,7 +61,10 @@ __all__ = [
     "FedOpt",
     "make_algorithm",
     "ALGORITHM_NAMES",
+    "EvalResult",
+    "evaluate",
     "evaluate_accuracy",
+    "evaluate_loss",
     "evaluate_per_party",
     "ClientExecutor",
     "SerialExecutor",

@@ -119,6 +119,12 @@ class FederatedConfig:
     checkpoint_path:
         Where periodic checkpoints are written (required when
         ``checkpoint_every > 0``).
+    compile:
+        Capture each (model, batch shape) training step once and replay
+        it through preallocated buffers on later steps (see
+        :mod:`repro.grad.capture`).  Replays are bitwise identical to
+        eager execution, so this is purely a speed knob; models using
+        unsupported ops (e.g. dropout) transparently stay eager.
     """
 
     num_rounds: int = 50
@@ -151,6 +157,7 @@ class FederatedConfig:
     max_retries: int = 1
     checkpoint_every: int = 0
     checkpoint_path: str | None = None
+    compile: bool = False
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self):

@@ -1,32 +1,89 @@
-"""Global-model evaluation: the paper's top-1 test accuracy metric."""
+"""Global-model evaluation: the paper's top-1 test accuracy metric.
+
+:func:`evaluate` is the fused fast path: one forward pass per batch
+yields *both* accuracy and mean cross-entropy (the server previously paid
+two full passes per round for them), optionally replayed through a
+captured inference program (see :mod:`repro.grad.capture`).  The
+historical :func:`evaluate_accuracy` / :func:`evaluate_loss` entry points
+are thin wrappers over it and return bitwise-identical values.
+"""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.loader import DataLoader
+from repro.grad.capture import inference_engine
 from repro.grad.nn.module import Module
 from repro.grad.tensor import Tensor, no_grad
 
 
-def evaluate_accuracy(model: Module, dataset, batch_size: int = 256) -> float:
-    """Top-1 accuracy of ``model`` on ``dataset`` (eval mode, no grad)."""
+@dataclass
+class EvalResult:
+    """Accuracy and mean loss from a single pass over a dataset."""
+
+    accuracy: float
+    loss: float
+    num_samples: int
+
+
+def _cross_entropy_sum(logits: np.ndarray, targets: np.ndarray) -> float:
+    # Mirrors F.cross_entropy(..., reduction="sum") on the same logits
+    # bit for bit, so the fused path reproduces evaluate_loss exactly.
+    rows = np.arange(logits.shape[0])
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    sumexp = np.exp(shifted).sum(axis=1, keepdims=True)
+    losses = np.log(sumexp[:, 0]) - shifted[rows, targets]
+    return float(losses.sum())
+
+
+def _evaluate_inner(
+    model: Module, dataset, batch_size: int, compiled: bool
+) -> EvalResult:
+    """Single-pass accuracy+loss; assumes eval mode is already set."""
     if len(dataset) == 0:
         raise ValueError("cannot evaluate on an empty dataset")
-    was_training = model.training
-    model.eval()
+    engine = inference_engine(model) if compiled else None
     correct = 0
+    total = 0.0
     with no_grad():
         for features, labels in DataLoader(dataset, batch_size):
-            predictions = model(Tensor(features)).argmax(axis=1)
-            correct += int((predictions == labels).sum())
-    if was_training:
-        model.train()
-    return correct / len(dataset)
+            logits = engine.forward(features) if engine is not None else None
+            if logits is None:
+                logits = model(Tensor(features)).data
+            correct += int((logits.argmax(axis=1) == labels).sum())
+            total += _cross_entropy_sum(logits, labels)
+    n = len(dataset)
+    return EvalResult(accuracy=correct / n, loss=total / n, num_samples=n)
+
+
+def evaluate(
+    model: Module, dataset, batch_size: int = 256, compiled: bool = False
+) -> EvalResult:
+    """Accuracy and mean cross-entropy from one forward pass per batch.
+
+    With ``compiled=True`` the forward is replayed through the model's
+    cached inference program (captured on first use and reused across
+    rounds); odd-shaped final batches transparently run eagerly.
+    """
+    was_training = model.training
+    model.eval()
+    try:
+        return _evaluate_inner(model, dataset, batch_size, compiled)
+    finally:
+        if was_training:
+            model.train()
+
+
+def evaluate_accuracy(model: Module, dataset, batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (eval mode, no grad)."""
+    return evaluate(model, dataset, batch_size).accuracy
 
 
 def evaluate_per_party(
-    model: Module, clients, batch_size: int = 256
+    model: Module, clients, batch_size: int = 256, compiled: bool = False
 ) -> "np.ndarray":
     """Accuracy of one (global) model on every party's local data.
 
@@ -34,25 +91,24 @@ def evaluate_per_party(
     label skew a global model can be accurate overall yet fail the
     specialized parties — useful context for the paper's Section 6
     discussion even though Table 3 reports only the global test accuracy.
+
+    The eval-mode toggle is hoisted out of the per-party loop, and with
+    ``compiled=True`` all parties share the model's one cached inference
+    program (full-size batches replay; ragged tails run eagerly).
     """
-    return np.array(
-        [evaluate_accuracy(model, client.dataset, batch_size) for client in clients]
-    )
+    was_training = model.training
+    model.eval()
+    try:
+        accuracies = [
+            _evaluate_inner(model, client.dataset, batch_size, compiled).accuracy
+            for client in clients
+        ]
+    finally:
+        if was_training:
+            model.train()
+    return np.array(accuracies)
 
 
 def evaluate_loss(model: Module, dataset, batch_size: int = 256) -> float:
     """Mean cross-entropy of ``model`` on ``dataset``."""
-    from repro.grad import functional as F
-
-    if len(dataset) == 0:
-        raise ValueError("cannot evaluate on an empty dataset")
-    was_training = model.training
-    model.eval()
-    total = 0.0
-    with no_grad():
-        for features, labels in DataLoader(dataset, batch_size):
-            loss = F.cross_entropy(model(Tensor(features)), labels, reduction="sum")
-            total += loss.item()
-    if was_training:
-        model.train()
-    return total / len(dataset)
+    return evaluate(model, dataset, batch_size).loss

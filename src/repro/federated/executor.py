@@ -60,6 +60,8 @@ cached key structure by copy-on-write instead of pickling them.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import warnings
 import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
@@ -80,6 +82,11 @@ if TYPE_CHECKING:
 def fork_available() -> bool:
     """Whether this platform supports fork-based worker pools."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _effective_cpu_count() -> int:
+    """CPUs the pool could actually use (monkeypatchable in tests)."""
+    return os.cpu_count() or 1
 
 
 def process_upload(channel, algorithm, result, client, reference, keys) -> None:
@@ -198,7 +205,15 @@ class ClientExecutor:
 
 
 class SerialExecutor(ClientExecutor):
-    """Run parties one after another on the server's workspace model."""
+    """Run parties one after another on the server's workspace model.
+
+    ``note``, when set, is recorded as each round's ``fallback`` so the
+    history shows *why* this run degraded to serial (e.g. ``"auto"``
+    found a single-CPU host); ``None`` leaves clean rounds unmarked.
+    """
+
+    def __init__(self, note: str | None = None):
+        self._note = note
 
     def execute_round(
         self,
@@ -254,6 +269,8 @@ class SerialExecutor(ClientExecutor):
                 break
         for party, rng_state in staged_rng.items():
             self.clients[party].rng.bit_generator.state = rng_state
+        if execution.fallback is None and self._note is not None:
+            execution.fallback = self._note
         return execution
 
     def _run_one(self, client, global_state, payload, fault, reference, keys):
@@ -273,6 +290,8 @@ class SerialExecutor(ClientExecutor):
         return result
 
     def __repr__(self) -> str:
+        if self._note is not None:
+            return f"SerialExecutor(note={self._note!r})"
         return "SerialExecutor()"
 
 
@@ -512,9 +531,13 @@ def make_executor(config: "FederatedConfig") -> ClientExecutor:
     """Build the executor a :class:`FederatedConfig` asks for.
 
     ``executor="serial"`` and ``executor="parallel"`` are explicit;
-    ``"auto"`` picks :class:`ParallelExecutor` when ``num_workers >= 2``
-    and the platform can fork, falling back to :class:`SerialExecutor`
-    otherwise.
+    ``"auto"`` picks :class:`ParallelExecutor` when ``num_workers >= 2``,
+    the platform can fork, *and* more than one CPU is actually available
+    — forked workers time-slicing one core cost fork/IPC overhead for
+    zero concurrency, so a single-CPU host degrades to
+    :class:`SerialExecutor` with a one-line warning and the reason
+    recorded in each round's ``fallback`` field.  An explicit
+    ``executor="parallel"`` still forces the pool.
     """
     wants_parallel = config.executor == "parallel" or (
         config.executor == "auto" and config.num_workers >= 2
@@ -523,4 +546,13 @@ def make_executor(config: "FederatedConfig") -> ClientExecutor:
         return SerialExecutor()
     if config.executor == "auto" and not fork_available():
         return SerialExecutor()
+    if config.executor == "auto" and _effective_cpu_count() <= 1:
+        warnings.warn(
+            f"executor='auto' found a single-CPU host; running "
+            f"{config.num_workers} requested workers serially "
+            "(pass executor='parallel' to force a pool)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return SerialExecutor(note="serial:single-cpu")
     return ParallelExecutor(max(config.num_workers, 2))

@@ -53,7 +53,7 @@ from repro.grad.nn.module import Module
 from repro.federated.algorithms.base import FedAlgorithm
 from repro.federated.client import Client
 from repro.federated.config import FederatedConfig
-from repro.federated.evaluation import evaluate_accuracy
+from repro.federated.evaluation import evaluate as evaluate_model
 from repro.federated.executor import ClientExecutor, make_executor
 from repro.federated.faults import NO_FAULT, FaultModel
 from repro.federated.history import History, RoundRecord
@@ -370,7 +370,13 @@ class FederatedServer:
         if target is None:
             raise ValueError("no test dataset provided")
         self.model.load_state_dict(self.global_state)
-        return evaluate_accuracy(self.model, target, self.config.eval_batch_size)
+        result = evaluate_model(
+            self.model,
+            target,
+            self.config.eval_batch_size,
+            compiled=self.config.compile,
+        )
+        return result.accuracy
 
     def close(self) -> None:
         """Release the executor's resources (worker pools); idempotent."""

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.grad import functional as F
+from repro.grad.capture import training_engine
 from repro.grad.nn.module import Module
 from repro.grad.optim import Adam, SGD
 from repro.grad.tensor import Tensor
@@ -92,15 +93,22 @@ def run_local_training(
     model.train()
     params = model.parameters()
     loader = client.loader(config.batch_size)
+    # Step capture & replay (see repro.grad.capture): the engine replays
+    # full-size batches bitwise-identically and returns None for any other
+    # shape (the ragged last batch), which then runs the eager path below.
+    engine = training_engine(model) if config.compile else None
     steps = 0
     total_loss = 0.0
     epochs = client.local_epochs if client.local_epochs is not None else config.local_epochs
     for _ in range(epochs):
         for features, labels in loader:
             optimizer.zero_grad()
-            logits = model(Tensor(features))
-            loss = F.cross_entropy(logits, labels)
-            loss.backward()
+            loss_value = engine.step(features, labels) if engine is not None else None
+            if loss_value is None:
+                logits = model(Tensor(features))
+                loss = F.cross_entropy(logits, labels)
+                loss.backward()
+                loss_value = loss.item()
             if dp is not None:
                 grads = [p.grad for p in params if p.grad is not None]
                 privacy.clip_gradients(grads, dp.clip_norm)
@@ -109,7 +117,7 @@ def run_local_training(
                 )
             optimizer.step()
             steps += 1
-            total_loss += loss.item()
+            total_loss += loss_value
             # Fault injection: die mid-round with the model workspace and
             # the client generator already dirtied — exactly the partial
             # work the executor's transactional commit must discard.

@@ -1,0 +1,1252 @@
+"""Shape-specialized step capture & replay for :mod:`repro.grad`.
+
+Every local SGD step traces an identical ``Tensor`` closure graph: the
+same ops in the same order over the same shapes, differing only in the
+batch contents and the parameter values.  This module records that trace
+once — into a :class:`CapturedStep` — and *replays* it on later steps
+against a preallocated buffer arena, skipping per-step Python closure
+construction, graph bookkeeping, and most ``np.zeros``/``astype(copy=True)``
+allocations.
+
+Bitwise safety
+--------------
+Replay is bitwise-identical to eager execution because every replay
+kernel runs the *same NumPy calls on arrays of the same memory layout*:
+
+* forward output buffers are ``np.empty_like`` copies of the eager
+  outputs (layout-preserving), filled with the same ufunc/``matmul``/
+  reduction calls via ``out=``;
+* composite kernels (conv, pooling, cross-entropy) lazily warm their
+  scratch buffers on the first replay by evaluating the literal eager
+  expression, then reuse those buffers with ``out=`` — so reductions see
+  the same strides and produce the same pairwise-summation bits;
+* gradient accumulation mirrors :meth:`Tensor._accumulate`: the first
+  write per step copies (or ``np.copyto``-refreshes) the freshly
+  computed value, later writes use ``+=`` in the same order as the eager
+  reverse-topological pass, which is replicated verbatim at compile
+  time.
+
+Fallback
+--------
+Capture is best-effort.  Ops without a capture kernel (``abs``, ``clip``,
+``max``, indexing, ...), dropout (fresh mask per step), or a batch shape
+other than the first one seen simply invalidate the tape and the step
+runs eagerly — correctness never depends on capture succeeding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.grad import functional as F
+from repro.grad import tensor as tensor_mod
+from repro.grad.nn.module import Parameter
+from repro.grad.tensor import Tensor, _swap_last, _unbroadcast
+
+
+class CaptureError(RuntimeError):
+    """Raised at compile time when a tape cannot be turned into a program."""
+
+
+class _OpRecord:
+    __slots__ = ("kind", "out", "parents", "meta")
+
+    def __init__(self, kind, out, parents, meta):
+        self.kind = kind
+        self.out = out
+        self.parents = parents
+        self.meta = meta
+
+
+class Tape:
+    """Passive recording of one eager forward pass.
+
+    Installed via :func:`repro.grad.tensor._set_tape`; every op appends a
+    record (creation order == a valid topological order).  Any op without
+    a capture kernel invalidates the whole tape.
+    """
+
+    __slots__ = ("entries", "buffer_leaves", "failed")
+
+    def __init__(self):
+        self.entries: list = []
+        self.buffer_leaves: list = []
+        self.failed: str | None = None
+
+    def record(self, kind, out, parents, meta) -> None:
+        if self.failed is not None:
+            return
+        if kind is None:
+            self.failed = "op without a capture kernel"
+            return
+        self.entries.append(("op", _OpRecord(kind, out, parents, meta)))
+
+    def record_bn_update(self, module, mean, var, count) -> None:
+        """Batch-norm running-stat side effect (replayed per step)."""
+        if self.failed is None:
+            self.entries.append(("bn", (module, mean, var, count)))
+
+    def register_buffer_leaf(self, tensor, module, name, shape) -> None:
+        """A leaf that must be re-read from ``module`` on every replay."""
+        if self.failed is None:
+            self.buffer_leaves.append((tensor, module, name, tuple(shape)))
+
+    def invalidate(self, reason: str) -> None:
+        if self.failed is None:
+            self.failed = reason
+
+
+class _Cell:
+    """Lazily-warmed scratch buffer for one backward product."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+
+def _binout(cell: _Cell, fn, x, y):
+    """``fn(x, y)`` into a reused buffer; first call allocates eagerly."""
+    if cell.value is None:
+        cell.value = fn(x, y)
+    else:
+        fn(x, y, out=cell.value)
+    return cell.value
+
+
+def _unout(cell: _Cell, fn, x):
+    if cell.value is None:
+        cell.value = fn(x)
+    else:
+        fn(x, out=cell.value)
+    return cell.value
+
+
+_BINARY_UFUNCS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+}
+_UNARY_UFUNCS = {
+    "neg": np.negative,
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "tanh": np.tanh,
+}
+
+
+class CapturedStep:
+    """A compiled (forward [+ backward]) program over a buffer arena."""
+
+    __slots__ = (
+        "arena",
+        "forward_ops",
+        "backward_ops",
+        "param_refresh",
+        "buffer_refresh",
+        "param_binds",
+        "input_slot",
+        "labels_slot",
+        "out_slot",
+        "gbufs",
+        "gseen",
+        "gseen_false",
+        "seed",
+        "acc",
+    )
+
+    def __init__(self, **fields):
+        for name, value in fields.items():
+            setattr(self, name, value)
+
+    def replay_forward(self, features: np.ndarray) -> np.ndarray:
+        arena = self.arena
+        if self.input_slot is not None:
+            arena[self.input_slot] = features
+        # Parameters/buffers are rebound by the optimizer and state loads,
+        # so their slots are refreshed from the live objects every replay.
+        for slot, param in self.param_refresh:
+            arena[slot] = param.data
+        for slot, module, name, shape in self.buffer_refresh:
+            arena[slot] = getattr(module, name).reshape(shape)
+        for op in self.forward_ops:
+            op()
+        return arena[self.out_slot]
+
+    def replay_step(self, features: np.ndarray, labels: np.ndarray) -> float:
+        if self.labels_slot is not None:
+            self.arena[self.labels_slot] = labels
+        out = self.replay_forward(features)
+        loss = float(np.asarray(out).item())
+        self.gseen[:] = self.gseen_false
+        self.acc(self.out_slot, self.seed)
+        for op in self.backward_ops:
+            op()
+        gbufs = self.gbufs
+        for param, slot in self.param_binds:
+            param.grad = gbufs[slot]
+        return loss
+
+
+class _Compiler:
+    """Turns a :class:`Tape` into a :class:`CapturedStep`."""
+
+    def __init__(self, tape: Tape, input_tensor: Tensor, output: Tensor, labels):
+        self.tape = tape
+        self.input_tensor = input_tensor
+        self.output = output
+        self.labels = labels
+        self.slots: dict[int, int] = {}
+        self.arena: list = []
+        self.shapes: list = []
+        self.dtypes: list = []
+        self.gbufs: list = []
+        self.param_refresh: list = []
+        self.buffer_refresh: list = []
+        self.param_binds: list = []
+        self.input_slot: int | None = None
+        self.labels_slot: int | None = None
+        self._composite_bwd: dict[int, object] = {}
+        self._buffer_leaf_map = {
+            id(t): (module, name, shape)
+            for t, module, name, shape in tape.buffer_leaves
+        }
+        self._records = [rec for kind, rec in tape.entries if kind == "op"]
+        self._outs = {id(rec.out) for rec in self._records}
+        self._recmap = {id(rec.out): rec for rec in self._records}
+        consumers: dict[int, int] = {}
+        for rec in self._records:
+            for parent in rec.parents:
+                key = id(parent)
+                consumers[key] = consumers.get(key, 0) + 1
+        self._consumers = consumers
+        self.acc = self._make_acc()
+
+    # -- slots ----------------------------------------------------------
+    def _new_slot(self, shape, dtype) -> int:
+        slot = len(self.arena)
+        self.arena.append(None)
+        self.shapes.append(shape)
+        self.dtypes.append(dtype)
+        self.gbufs.append(None)
+        return slot
+
+    def slot(self, t: Tensor) -> int:
+        return self.slots[id(t)]
+
+    def _ensure_slot(self, t: Tensor, is_out: bool) -> int:
+        existing = self.slots.get(id(t))
+        if existing is not None:
+            return existing
+        slot = self._new_slot(t.data.shape, t.data.dtype)
+        self.slots[id(t)] = slot
+        if not is_out:
+            self._classify_leaf(t, slot)
+        return slot
+
+    def _classify_leaf(self, t: Tensor, slot: int) -> None:
+        if isinstance(t, Parameter):
+            self.param_refresh.append((slot, t))
+            self.param_binds.append((t, slot))
+        elif t is self.input_tensor:
+            self.input_slot = slot
+        elif id(t) in self._buffer_leaf_map:
+            module, name, shape = self._buffer_leaf_map[id(t)]
+            self.buffer_refresh.append((slot, module, name, shape))
+        else:
+            # Constant (coerced scalar, eps, 1/count, ...): snapshot once.
+            self.arena[slot] = np.array(t.data, copy=True)
+
+    def _make_acc(self):
+        shapes, dtypes, gbufs = self.shapes, self.dtypes, self.gbufs
+        # Plain-list flags: scalar indexing is measurably cheaper than on
+        # an ndarray in this per-gradient hot path.  Sized at compile end.
+        seen: list = []
+
+        def acc(slot, value, fresh=False):
+            if value.shape != shapes[slot]:
+                value = _unbroadcast(np.asarray(value), shapes[slot])
+            if seen[slot]:
+                gbufs[slot] += value
+            else:
+                # ``fresh`` marks values the kernel owns outright (a private
+                # cell or a per-step allocation, never a view of another
+                # slot's gradient): those are bound directly, skipping a
+                # full copy pass — same arithmetic, one less memory sweep.
+                # Later ``+=`` hits mutate the cell, which the owning kernel
+                # fully rewrites on its next execution anyway.
+                if (
+                    fresh
+                    and value.dtype == dtypes[slot]
+                    and value.flags.writeable
+                ):
+                    gbufs[slot] = value
+                else:
+                    buf = gbufs[slot]
+                    if buf is None:
+                        gbufs[slot] = value.astype(dtypes[slot], copy=True)
+                    else:
+                        np.copyto(buf, value)
+                seen[slot] = True
+
+        self._acc_seen = seen
+        return acc
+
+    # -- compile --------------------------------------------------------
+    def compile(self, with_backward: bool) -> CapturedStep:
+        if self.labels is not None:
+            self.labels_slot = self._new_slot(self.labels.shape, self.labels.dtype)
+
+        forward_ops: list = []
+        for kind, entry in self.tape.entries:
+            if kind == "op":
+                for parent in entry.parents:
+                    self._ensure_slot(parent, is_out=False)
+                self._ensure_slot(entry.out, is_out=True)
+                forward_ops.append(self._forward_op(entry))
+            else:
+                forward_ops.append(self._bn_op(entry))
+
+        if id(self.output) not in self.slots:
+            raise CaptureError("model output is not an op of the tape")
+
+        backward_ops: list = []
+        seed = None
+        if with_backward:
+            if not self.output.requires_grad:
+                raise CaptureError("output does not require grad")
+            if self.output.data.size != 1:
+                raise CaptureError("backward capture needs a scalar loss")
+            seed = np.ones_like(self.output.data)
+            for node in reversed(self._toposort()):
+                if node._backward is None:
+                    continue
+                rec = self._recmap.get(id(node))
+                if rec is None:
+                    raise CaptureError("graph node missing from the tape")
+                kernel = self._backward_op(rec)
+                if kernel is not None:
+                    backward_ops.append(kernel)
+
+        self._acc_seen.extend([False] * len(self.arena))
+        gseen = self._acc_seen
+        return CapturedStep(
+            arena=self.arena,
+            forward_ops=forward_ops,
+            backward_ops=backward_ops,
+            param_refresh=self.param_refresh,
+            buffer_refresh=self.buffer_refresh,
+            param_binds=self.param_binds,
+            input_slot=self.input_slot,
+            labels_slot=self.labels_slot,
+            out_slot=self.slot(self.output),
+            gbufs=self.gbufs,
+            gseen=gseen,
+            gseen_false=[False] * len(self.arena),
+            seed=seed,
+            acc=self.acc,
+        )
+
+    def _toposort(self) -> list[Tensor]:
+        # Replicates Tensor.backward's DFS exactly, so the replayed
+        # accumulation order matches the eager one bit for bit.
+        ordered: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self.output, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                ordered.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+        return ordered
+
+    # -- forward kernels ------------------------------------------------
+    def _forward_op(self, rec: _OpRecord):
+        kind = rec.kind
+        arena = self.arena
+        o = self.slot(rec.out)
+        srcs = [self.slot(p) for p in rec.parents]
+
+        if kind in _BINARY_UFUNCS:
+            fn = _BINARY_UFUNCS[kind]
+            a, b = srcs
+            buf = None
+            if kind == "add":
+                # Bias-add peephole: when the left operand is a matmul
+                # whose only reader is this add, the sum is written back
+                # into the matmul's buffer (the cachelines are still hot,
+                # and no backward kernel reads the pre-add values).
+                src_rec = self._recmap.get(id(rec.parents[0]))
+                prior = arena[a]
+                if (
+                    src_rec is not None
+                    and src_rec.kind == "matmul"
+                    and self._consumers.get(id(rec.parents[0])) == 1
+                    and rec.parents[0] is not self.output
+                    and isinstance(prior, np.ndarray)
+                    and prior.shape == rec.out.data.shape
+                    and prior.dtype == rec.out.data.dtype
+                ):
+                    buf = prior
+            if buf is None:
+                buf = np.empty_like(rec.out.data)
+            arena[o] = buf
+
+            def run():
+                fn(arena[a], arena[b], out=buf)
+
+            return run
+
+        if kind in _UNARY_UFUNCS:
+            fn = _UNARY_UFUNCS[kind]
+            buf = np.empty_like(rec.out.data)
+            arena[o] = buf
+            (a,) = srcs
+
+            def run():
+                fn(arena[a], out=buf)
+
+            return run
+
+        if kind == "relu":
+            return self._relu(rec)
+
+        if kind == "sigmoid":
+            buf = np.empty_like(rec.out.data)
+            arena[o] = buf
+            (a,) = srcs
+            st: dict = {}
+
+            def run():
+                xv = arena[a]
+                t = st.get("t")
+                if t is None:
+                    t = np.exp(-xv)
+                    st["t"] = t
+                else:
+                    np.negative(xv, out=t)
+                    np.exp(t, out=t)
+                np.add(1.0, t, out=t)
+                np.divide(1.0, t, out=buf)
+
+            return run
+
+        if kind == "pow":
+            exponent = rec.meta["exponent"]
+            (a,) = srcs
+
+            def run():
+                # `x ** e` has ufunc fast paths `np.power` lacks; rerun
+                # the literal expression so the bits can never differ.
+                arena[o] = arena[a] ** exponent
+
+            return run
+
+        if kind == "sum":
+            axis = rec.meta["axis"]
+            keepdims = rec.meta["keepdims"]
+            buf = np.empty_like(rec.out.data)
+            arena[o] = buf
+            (a,) = srcs
+
+            def run():
+                arena[a].sum(axis=axis, keepdims=keepdims, out=buf)
+
+            return run
+
+        if kind == "reshape":
+            shape = rec.meta["shape"]
+            (a,) = srcs
+
+            def run():
+                arena[o] = arena[a].reshape(shape)
+
+            return run
+
+        if kind == "transpose":
+            axes = rec.meta["axes"]
+            (a,) = srcs
+
+            def run():
+                arena[o] = arena[a].transpose(axes)
+
+            return run
+
+        if kind == "matmul":
+            buf = np.empty_like(rec.out.data)
+            arena[o] = buf
+            a, b = srcs
+
+            def run():
+                np.matmul(arena[a], arena[b], out=buf)
+
+            return run
+
+        if kind == "conv2d":
+            return self._conv2d(rec)
+        if kind == "max_pool2d":
+            return self._max_pool2d(rec)
+        if kind == "avg_pool2d":
+            return self._avg_pool2d(rec)
+        if kind == "cross_entropy":
+            return self._cross_entropy(rec)
+
+        raise CaptureError(f"no forward kernel for op kind {kind!r}")
+
+    def _bn_op(self, entry):
+        module, mean_t, var_t, count = entry
+        if id(mean_t) not in self.slots or id(var_t) not in self.slots:
+            raise CaptureError("batch-norm stats missing from the tape")
+        sm = self.slot(mean_t)
+        sv = self.slot(var_t)
+        arena = self.arena
+
+        def run():
+            m = module.momentum
+            mean_arr = arena[sm]
+            var_arr = arena[sv]
+            unbiased = var_arr * (count / max(count - 1, 1))
+            module._set_buffer(
+                "running_mean",
+                (1 - m) * module.running_mean + m * mean_arr.reshape(-1),
+            )
+            module._set_buffer(
+                "running_var",
+                (1 - m) * module.running_var + m * unbiased.reshape(-1),
+            )
+            module._set_buffer(
+                "num_batches_tracked",
+                np.asarray(int(module.num_batches_tracked) + 1),
+            )
+
+        return run
+
+    # -- composite kernels ----------------------------------------------
+    def _register_bwd(self, rec, bwd, grad_needed: bool):
+        self._composite_bwd[id(rec)] = bwd if grad_needed else None
+
+    def _relu(self, rec: _OpRecord):
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        x_t = rec.parents[0]
+        a = self.slot(x_t)
+        o = self.slot(rec.out)
+        buf = np.empty_like(rec.out.data)
+        arena[o] = buf
+        mask = np.empty(x_t.data.shape, dtype=bool)
+        cell = _Cell()
+
+        def fwd():
+            # Bit-identical to np.where(x > 0, x, 0.0): for x <= 0 both
+            # pick the +0.0 operand, and positives pass through untouched.
+            np.maximum(arena[a], 0.0, out=buf)
+
+        def bwd():
+            # The input buffer is still intact at backward time, so the
+            # mask is derived here and skipped entirely in inference runs.
+            np.greater(arena[a], 0, out=mask)
+            acc(a, _binout(cell, np.multiply, gbufs[o], mask), fresh=True)
+
+        self._register_bwd(rec, bwd, x_t.requires_grad)
+        return fwd
+
+    def _conv2d(self, rec: _OpRecord):
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        meta = rec.meta
+        n, c, h, w = meta["image_shape"]
+        _, oc, oh, ow = meta["out_shape"]
+        kernel, stride, padding = meta["kernel"], meta["stride"], meta["padding"]
+        has_bias = meta["has_bias"]
+        x_t, w_t = rec.parents[0], rec.parents[1]
+        b_t = rec.parents[2] if has_bias else None
+        sx, sw = self.slot(x_t), self.slot(w_t)
+        sb = self.slot(b_t) if has_bias else None
+        o = self.slot(rec.out)
+        weight_shape = w_t.data.shape
+        st: dict = {}
+        gw_cell, gc_cell = _Cell(), _Cell()
+
+        def fwd():
+            x = arena[sx]
+            flat_weight = arena[sw].reshape(oc, -1)
+            img = x
+            if padding > 0:
+                padded = st.get("padded")
+                if padded is None:
+                    padded = np.zeros(
+                        (n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype
+                    )
+                    st["padded"] = padded
+                padded[:, :, padding : padding + h, padding : padding + w] = x
+                img = padded
+            strides = img.strides
+            windows = as_strided(
+                img,
+                shape=(n, c, oh, ow, kernel, kernel),
+                strides=(
+                    strides[0],
+                    strides[1],
+                    strides[2] * stride,
+                    strides[3] * stride,
+                    strides[2],
+                    strides[3],
+                ),
+                writeable=False,
+            )
+            cols6 = st.get("cols6")
+            if cols6 is None:
+                cols6 = np.empty((n, oh, ow, c, kernel, kernel), dtype=x.dtype)
+                st["cols6"] = cols6
+                st["cols2"] = cols6.reshape(n * oh * ow, c * kernel * kernel)
+            np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
+            cols2 = st["cols2"]
+            mm = st.get("mm")
+            if mm is None:
+                mm = cols2 @ flat_weight.T
+                st["mm"] = mm
+            else:
+                np.matmul(cols2, flat_weight.T, out=mm)
+            out_flat = mm
+            if has_bias:
+                bout = st.get("bout")
+                if bout is None:
+                    bout = out_flat + arena[sb]
+                    st["bout"] = bout
+                else:
+                    np.add(out_flat, arena[sb], out=bout)
+                out_flat = bout
+            arena[o] = out_flat.reshape(n, oh, ow, oc).transpose(0, 3, 1, 2)
+
+        x_req = x_t.requires_grad
+        w_req = w_t.requires_grad
+        b_req = has_bias and b_t.requires_grad
+
+        def col2im_replay(gc):
+            # Same slice-add sequence as F.col2im, but the columns are first
+            # rearranged into a (k, k, n, c, oh, ow)-contiguous scratch so
+            # each of the k*k adds streams over contiguous memory instead of
+            # stride-k*k gathers.  Contribution order per output element is
+            # unchanged, so the result is bit-identical.
+            gcT = st.get("gcT")
+            if gcT is None:
+                gcT = np.empty((kernel, kernel, n, c, oh, ow), dtype=gc.dtype)
+                st["gcT"] = gcT
+                st["gpad"] = np.zeros(
+                    (n, c, h + 2 * padding, w + 2 * padding), dtype=gc.dtype
+                )
+            np.copyto(
+                gcT,
+                gc.reshape(n, oh, ow, c, kernel, kernel).transpose(
+                    4, 5, 0, 3, 1, 2
+                ),
+            )
+            gpad = st["gpad"]
+            gpad.fill(0.0)
+            for ki in range(kernel):
+                h_stop = ki + stride * oh
+                for kj in range(kernel):
+                    w_stop = kj + stride * ow
+                    gpad[:, :, ki:h_stop:stride, kj:w_stop:stride] += gcT[ki, kj]
+            if padding > 0:
+                return gpad[:, :, padding:-padding, padding:-padding]
+            return gpad
+
+        def bwd():
+            g = gbufs[o]
+            grad_flat = g.transpose(0, 2, 3, 1).reshape(-1, oc)
+            cols2 = st["cols2"]
+            flat_weight = arena[sw].reshape(oc, -1)
+            if w_req:
+                gw = _binout(gw_cell, np.matmul, grad_flat.T, cols2)
+                acc(sw, gw.reshape(weight_shape), fresh=True)
+            if b_req:
+                acc(sb, grad_flat.sum(axis=0), fresh=True)
+            if x_req:
+                gc = _binout(gc_cell, np.matmul, grad_flat, flat_weight)
+                acc(sx, col2im_replay(gc), fresh=True)
+
+        self._register_bwd(rec, bwd, x_req or w_req or b_req)
+        return fwd
+
+    def _max_pool2d(self, rec: _OpRecord):
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        meta = rec.meta
+        kernel, stride = meta["kernel"], meta["stride"]
+        n, c, h, w = meta["image_shape"]
+        _, _, oh, ow = meta["out_shape"]
+        nc = n * c
+        x_t = rec.parents[0]
+        sx = self.slot(x_t)
+        o = self.slot(rec.out)
+        window = kernel * kernel
+        count = nc * oh * ow
+        rows = np.arange(count)
+        # Flat base of each patch row, and a static map from column-flat
+        # index to image-flat index (both depend only on the geometry).
+        flat_base = rows * window
+        ki, kj = np.divmod(np.arange(window), kernel)
+        b, rem = np.divmod(rows, oh * ow)
+        a_h, a_w = np.divmod(rem, ow)
+        col_to_img = (
+            b[:, None] * (h * w)
+            + (a_h[:, None] * stride + ki[None, :]) * w
+            + (a_w[:, None] * stride + kj[None, :])
+        ).ravel()
+        nonoverlap = stride >= kernel
+        st: dict = {}
+
+        def fwd():
+            as_batch = arena[sx].reshape(nc, 1, h, w)
+            strides = as_batch.strides
+            windows = as_strided(
+                as_batch,
+                shape=(nc, 1, oh, ow, kernel, kernel),
+                strides=(
+                    strides[0],
+                    strides[1],
+                    strides[2] * stride,
+                    strides[3] * stride,
+                    strides[2],
+                    strides[3],
+                ),
+                writeable=False,
+            )
+            cols6 = st.get("cols6")
+            if cols6 is None:
+                cols6 = np.empty((nc, oh, ow, 1, kernel, kernel), dtype=as_batch.dtype)
+                st["cols6"] = cols6
+                st["cols2"] = cols6.reshape(count, window)
+                st["arg"] = np.empty(count, dtype=np.intp)
+                st["idx"] = np.empty(count, dtype=np.intp)
+                st["out"] = np.empty((n, c, oh, ow), dtype=as_batch.dtype)
+            np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
+            cols2 = st["cols2"]
+            arg = np.argmax(cols2, axis=1, out=st["arg"])
+            # Single flat take instead of a two-array fancy gather.
+            idx = np.add(flat_base, arg, out=st["idx"])
+            out = st["out"]
+            np.take(cols2.reshape(-1), idx, out=out.reshape(-1))
+            arena[o] = out
+
+        def bwd():
+            g = gbufs[o]
+            if nonoverlap:
+                # Windows are disjoint, so col2im's scatter-add places each
+                # gradient exactly once: route it straight into the image.
+                # The explicit `+ 0.0` mirrors the `0.0 + v` of the add,
+                # which flushes a -0.0 gradient to +0.0.
+                gimg = st.get("gimg")
+                if gimg is None:
+                    gimg = np.empty(nc * h * w, dtype=g.dtype)
+                    st["gimg"] = gimg
+                    st["imgidx"] = np.empty(count, dtype=np.intp)
+                    st["gtmp"] = np.empty(count, dtype=g.dtype)
+                gimg.fill(0.0)
+                imgidx = np.take(col_to_img, st["idx"], out=st["imgidx"])
+                gtmp = np.add(g.reshape(-1), 0.0, out=st["gtmp"])
+                gimg[imgidx] = gtmp
+                acc(sx, gimg.reshape(n, c, h, w), fresh=True)
+                return
+            cols2 = st["cols2"]
+            gc = st.get("gc")
+            if gc is None:
+                gc = np.zeros_like(cols2)
+                st["gc"] = gc
+            else:
+                gc.fill(0.0)
+            gc[rows, st["arg"]] = g.reshape(-1)
+            grad_images = F.col2im(gc, (nc, 1, h, w), kernel, stride, 0)
+            acc(sx, grad_images.reshape(n, c, h, w), fresh=True)
+
+        self._register_bwd(rec, bwd, x_t.requires_grad)
+        return fwd
+
+    def _avg_pool2d(self, rec: _OpRecord):
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        meta = rec.meta
+        kernel, stride = meta["kernel"], meta["stride"]
+        n, c, h, w = meta["image_shape"]
+        _, _, oh, ow = meta["out_shape"]
+        nc = n * c
+        window = kernel * kernel
+        x_t = rec.parents[0]
+        sx = self.slot(x_t)
+        o = self.slot(rec.out)
+        st: dict = {}
+
+        def fwd():
+            as_batch = arena[sx].reshape(nc, 1, h, w)
+            strides = as_batch.strides
+            windows = as_strided(
+                as_batch,
+                shape=(nc, 1, oh, ow, kernel, kernel),
+                strides=(
+                    strides[0],
+                    strides[1],
+                    strides[2] * stride,
+                    strides[3] * stride,
+                    strides[2],
+                    strides[3],
+                ),
+                writeable=False,
+            )
+            cols6 = st.get("cols6")
+            if cols6 is None:
+                cols6 = np.empty((nc, oh, ow, 1, kernel, kernel), dtype=as_batch.dtype)
+                st["cols6"] = cols6
+                st["cols2"] = cols6.reshape(nc * oh * ow, window)
+            np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
+            cols2 = st["cols2"]
+            mean = st.get("mean")
+            if mean is None:
+                mean = cols2.mean(axis=1)
+                st["mean"] = mean
+            else:
+                cols2.mean(axis=1, out=mean)
+            arena[o] = mean.reshape(n, c, oh, ow)
+
+        def bwd():
+            g = gbufs[o]
+            grad_cols = np.repeat(g.reshape(-1, 1), window, axis=1) / window
+            grad_images = F.col2im(grad_cols, (nc, 1, h, w), kernel, stride, 0)
+            acc(sx, grad_images.reshape(n, c, h, w), fresh=True)
+
+        self._register_bwd(rec, bwd, x_t.requires_grad)
+        return fwd
+
+    def _cross_entropy(self, rec: _OpRecord):
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        reduction = rec.meta["reduction"]
+        targets = rec.meta["targets"]
+        if self.labels is None or targets is not self.labels:
+            raise CaptureError("cross_entropy targets are not the step labels")
+        logits_t = rec.parents[0]
+        n = logits_t.data.shape[0]
+        sl = self.slot(logits_t)
+        lt = self.labels_slot
+        o = self.slot(rec.out)
+        rows = np.arange(n)
+        st: dict = {}
+        gl_cell = _Cell()
+
+        def fwd():
+            logits = arena[sl]
+            tgt = arena[lt]
+            if "max" not in st:
+                st["max"] = logits.max(axis=1, keepdims=True)
+                st["shifted"] = logits - st["max"]
+                st["exp"] = np.exp(st["shifted"])
+                st["sumexp"] = st["exp"].sum(axis=1, keepdims=True)
+                st["ln"] = np.log(st["sumexp"][:, 0])
+                losses = st["ln"] - st["shifted"][rows, tgt]
+                st["losses"] = losses
+            else:
+                logits.max(axis=1, keepdims=True, out=st["max"])
+                np.subtract(logits, st["max"], out=st["shifted"])
+                np.exp(st["shifted"], out=st["exp"])
+                st["exp"].sum(axis=1, keepdims=True, out=st["sumexp"])
+                np.log(st["sumexp"][:, 0], out=st["ln"])
+                np.subtract(st["ln"], st["shifted"][rows, tgt], out=st["losses"])
+                losses = st["losses"]
+            if reduction == "none":
+                arena[o] = losses
+            elif reduction == "sum":
+                arena[o] = losses.sum()
+            else:
+                arena[o] = losses.mean()
+
+        def bwd():
+            g = gbufs[o]
+            tgt = arena[lt]
+            if reduction == "none":
+                scale = np.asarray(g).reshape(n, 1)
+            elif reduction == "mean":
+                scale = np.asarray(g) / n
+            else:
+                scale = np.asarray(g)
+            # exp is rewritten by the next forward replay, so the in-place
+            # softmax matches the eager closure exactly.
+            softmax = np.divide(st["exp"], st["sumexp"], out=st["exp"])
+            gl = _binout(gl_cell, np.multiply, softmax, scale)
+            if reduction == "none":
+                gl[rows, tgt] -= scale[:, 0]
+            else:
+                gl[rows, tgt] -= scale
+            acc(sl, gl, fresh=True)
+
+        self._register_bwd(rec, bwd, logits_t.requires_grad)
+        return fwd
+
+    # -- backward kernels ------------------------------------------------
+    def _backward_op(self, rec: _OpRecord):
+        if id(rec) in self._composite_bwd:
+            return self._composite_bwd[id(rec)]
+        kind = rec.kind
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        o = self.slot(rec.out)
+        srcs = [self.slot(p) for p in rec.parents]
+        reqs = [p.requires_grad for p in rec.parents]
+
+        if kind == "add":
+            a, b = srcs
+            ra, rb = reqs
+
+            def run():
+                g = gbufs[o]
+                if ra:
+                    acc(a, g)
+                if rb:
+                    acc(b, g)
+
+            return run
+
+        if kind == "neg":
+            (a,) = srcs
+            cell = _Cell()
+
+            def run():
+                acc(a, _unout(cell, np.negative, gbufs[o]), fresh=True)
+
+            return run
+
+        if kind == "sub":
+            a, b = srcs
+            ra, rb = reqs
+            cell = _Cell()
+
+            def run():
+                g = gbufs[o]
+                if ra:
+                    acc(a, g)
+                if rb:
+                    acc(b, _unout(cell, np.negative, g), fresh=True)
+
+            return run
+
+        if kind == "mul":
+            a, b = srcs
+            ra, rb = reqs
+            cell_a, cell_b = _Cell(), _Cell()
+
+            def run():
+                g = gbufs[o]
+                if ra:
+                    acc(a, _binout(cell_a, np.multiply, g, arena[b]), fresh=True)
+                if rb:
+                    acc(b, _binout(cell_b, np.multiply, g, arena[a]), fresh=True)
+
+            return run
+
+        if kind == "div":
+            a, b = srcs
+            ra, rb = reqs
+            cell = _Cell()
+
+            def run():
+                g = gbufs[o]
+                if ra:
+                    acc(a, _binout(cell, np.divide, g, arena[b]), fresh=True)
+                if rb:
+                    acc(b, -g * arena[a] / (arena[b] ** 2), fresh=True)
+
+            return run
+
+        if kind == "pow":
+            exponent = rec.meta["exponent"]
+            (a,) = srcs
+
+            def run():
+                acc(a, gbufs[o] * exponent * arena[a] ** (exponent - 1), fresh=True)
+
+            return run
+
+        if kind == "exp":
+            (a,) = srcs
+            cell = _Cell()
+
+            def run():
+                acc(a, _binout(cell, np.multiply, gbufs[o], arena[o]), fresh=True)
+
+            return run
+
+        if kind == "log":
+            (a,) = srcs
+            cell = _Cell()
+
+            def run():
+                acc(a, _binout(cell, np.divide, gbufs[o], arena[a]), fresh=True)
+
+            return run
+
+        if kind == "sqrt":
+            (a,) = srcs
+
+            def run():
+                acc(a, gbufs[o] / (2.0 * arena[o]), fresh=True)
+
+            return run
+
+        if kind == "tanh":
+            (a,) = srcs
+
+            def run():
+                acc(a, gbufs[o] * (1.0 - arena[o] ** 2), fresh=True)
+
+            return run
+
+        if kind == "sigmoid":
+            (a,) = srcs
+
+            def run():
+                out = arena[o]
+                acc(a, gbufs[o] * out * (1.0 - out), fresh=True)
+
+            return run
+
+        if kind == "sum":
+            axis = rec.meta["axis"]
+            keepdims = rec.meta["keepdims"]
+            in_shape = rec.parents[0].data.shape
+            (a,) = srcs
+
+            def run():
+                g = gbufs[o]
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                acc(a, np.broadcast_to(g, in_shape))
+
+            return run
+
+        if kind == "reshape":
+            in_shape = rec.parents[0].data.shape
+            (a,) = srcs
+
+            def run():
+                acc(a, gbufs[o].reshape(in_shape))
+
+            return run
+
+        if kind == "transpose":
+            inverse = np.argsort(rec.meta["axes"])
+            (a,) = srcs
+
+            def run():
+                acc(a, gbufs[o].transpose(inverse))
+
+            return run
+
+        if kind == "matmul":
+            a, b = srcs
+            ra, rb = reqs
+            a_nd = rec.parents[0].data.ndim
+            b_nd = rec.parents[1].data.ndim
+            cell_a, cell_b = _Cell(), _Cell()
+
+            def run():
+                g = gbufs[o]
+                if ra:
+                    if b_nd == 1:
+                        acc(
+                            a,
+                            np.outer(g, arena[b]) if g.ndim else g * arena[b],
+                            fresh=True,
+                        )
+                    else:
+                        acc(
+                            a,
+                            _binout(cell_a, np.matmul, g, _swap_last(arena[b])),
+                            fresh=True,
+                        )
+                if rb:
+                    if a_nd == 1:
+                        acc(
+                            b,
+                            np.outer(arena[a], g) if g.ndim else g * arena[a],
+                            fresh=True,
+                        )
+                    else:
+                        acc(
+                            b,
+                            _binout(cell_b, np.matmul, _swap_last(arena[a]), g),
+                            fresh=True,
+                        )
+
+            return run
+
+        raise CaptureError(f"no backward kernel for op kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+class _Engine:
+    """Shared capture bookkeeping: one program per batch-shape key.
+
+    Only the *first* shape seen is captured; every other shape (the
+    ragged last batch of a loader, odd evaluation tails) reports a
+    fallback and runs eagerly.  ``captures``/``replays``/``fallbacks``
+    count what actually happened, and ``failures`` maps a shape key to
+    the reason its capture was rejected.
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self.programs: dict = {}
+        self.failures: dict = {}
+        self.captures = 0
+        self.replays = 0
+        self.fallbacks = 0
+        # Last program hit, keyed by raw shapes/dtypes: building the
+        # string-keyed dict key costs tens of microseconds per step,
+        # which is real money against a sub-millisecond replay.
+        self._hot: tuple | None = None
+
+    def _should_capture(self, key) -> bool:
+        return not self.programs and key not in self.failures
+
+
+class TrainingEngine(_Engine):
+    """Captured forward+backward training step (loss and param grads)."""
+
+    def step(self, features: np.ndarray, labels: np.ndarray) -> float | None:
+        """Loss for one step, with grads left in ``param.grad``.
+
+        Returns None when this batch shape must run eagerly.
+        """
+        hot = self._hot
+        if (
+            hot is not None
+            and hot[0] == features.shape
+            and hot[1] is features.dtype
+            and hot[2] == labels.shape
+            and hot[3] is labels.dtype
+        ):
+            self.replays += 1
+            return hot[4].replay_step(features, labels)
+        key = (
+            features.shape,
+            str(features.dtype),
+            labels.shape,
+            str(labels.dtype),
+        )
+        program = self.programs.get(key)
+        if program is not None:
+            # Builtin dtypes are interned, so the identity probe above
+            # will hit from now on; exotic dtypes just stay on this path.
+            self._hot = (
+                features.shape, features.dtype, labels.shape, labels.dtype,
+                program,
+            )
+            self.replays += 1
+            return program.replay_step(features, labels)
+        if not self._should_capture(key):
+            self.fallbacks += 1
+            return None
+        return self._capture(key, features, labels)
+
+    def _capture(self, key, features, labels) -> float:
+        tape = Tape()
+        x = Tensor(features)
+        previous = tensor_mod._set_tape(tape)
+        try:
+            logits = self.model(x)
+            loss = F.cross_entropy(logits, labels)
+        finally:
+            tensor_mod._set_tape(previous)
+        if tape.failed is not None:
+            self.failures[key] = tape.failed
+        else:
+            try:
+                # Compile BEFORE backward: backward() frees the graph.
+                program = _Compiler(tape, x, loss, labels).compile(with_backward=True)
+                self.programs[key] = program
+                self.captures += 1
+            except CaptureError as error:
+                self.failures[key] = str(error)
+        loss.backward()
+        return loss.item()
+
+
+class InferenceEngine(_Engine):
+    """Captured forward pass for evaluation (logits only, no grads)."""
+
+    def forward(self, features: np.ndarray) -> np.ndarray | None:
+        """Logits for one batch, or None when it must run eagerly.
+
+        The returned array is an arena buffer overwritten by the next
+        replay — consume it before calling again.
+        """
+        hot = self._hot
+        if (
+            hot is not None
+            and hot[0] == features.shape
+            and hot[1] is features.dtype
+        ):
+            self.replays += 1
+            return hot[2].replay_forward(features)
+        key = (features.shape, str(features.dtype))
+        program = self.programs.get(key)
+        if program is not None:
+            self._hot = (features.shape, features.dtype, program)
+            self.replays += 1
+            return program.replay_forward(features)
+        if not self._should_capture(key):
+            self.fallbacks += 1
+            return None
+        tape = Tape()
+        x = Tensor(features)
+        previous = tensor_mod._set_tape(tape)
+        try:
+            out = self.model(x)
+        finally:
+            tensor_mod._set_tape(previous)
+        if tape.failed is not None:
+            self.failures[key] = tape.failed
+            return out.data
+        try:
+            program = _Compiler(tape, x, out, None).compile(with_backward=False)
+            self.programs[key] = program
+            self.captures += 1
+        except CaptureError as error:
+            self.failures[key] = str(error)
+        return out.data
+
+
+def _engine_cache(model) -> dict:
+    cache = getattr(model, "_capture_engines", None)
+    if cache is None:
+        # A plain attribute: Module.__setattr__ keeps it out of the
+        # parameter/module registries, so it never reaches state_dict()
+        # or a checkpoint (the model object itself is never pickled).
+        cache = {}
+        model._capture_engines = cache
+    return cache
+
+
+def training_engine(model) -> TrainingEngine:
+    """The model's cached :class:`TrainingEngine` (created on first use)."""
+    cache = _engine_cache(model)
+    engine = cache.get("train")
+    if engine is None:
+        engine = TrainingEngine(model)
+        cache["train"] = engine
+    return engine
+
+
+def inference_engine(model) -> InferenceEngine:
+    """The model's cached :class:`InferenceEngine` (created on first use)."""
+    cache = _engine_cache(model)
+    engine = cache.get("eval")
+    if engine is None:
+        engine = InferenceEngine(model)
+        cache["eval"] = engine
+    return engine

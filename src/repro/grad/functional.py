@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.grad.tensor import Tensor, is_grad_enabled
+from repro.grad.tensor import Tensor, active_tape, is_grad_enabled
 
 
 # ----------------------------------------------------------------------
@@ -184,14 +184,24 @@ def conv2d(
         grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
         if weight.requires_grad:
             grad_weight = grad_flat.T @ columns
-            weight._accumulate(grad_weight.reshape(weight.shape))
+            weight._accumulate(grad_weight.reshape(weight.shape), fresh=True)
         if bias is not None and bias.requires_grad:
-            bias._accumulate(grad_flat.sum(axis=0))
+            bias._accumulate(grad_flat.sum(axis=0), fresh=True)
         if x.requires_grad:
             grad_columns = grad_flat @ flat_weight
-            x._accumulate(col2im(grad_columns, (n, c, h, w), kernel, stride, padding))
+            x._accumulate(
+                col2im(grad_columns, (n, c, h, w), kernel, stride, padding), fresh=True
+            )
 
-    return out._attach(parents, backward)
+    meta = {
+        "stride": stride,
+        "padding": padding,
+        "kernel": kernel,
+        "image_shape": (n, c, h, w),
+        "out_shape": (n, out_channels, out_h, out_w),
+        "has_bias": bias is not None,
+    }
+    return out._attach(parents, backward, "conv2d", meta)
 
 
 # ----------------------------------------------------------------------
@@ -218,9 +228,15 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
         grad_cols = np.zeros_like(columns)
         grad_cols[np.arange(columns.shape[0]), arg] = grad.reshape(-1)
         grad_images = col2im(grad_cols, (n * c, 1, h, w), kernel, stride, 0)
-        x._accumulate(grad_images.reshape(n, c, h, w))
+        x._accumulate(grad_images.reshape(n, c, h, w), fresh=True)
 
-    return out._attach((x,), backward)
+    meta = {
+        "kernel": kernel,
+        "stride": stride,
+        "image_shape": (n, c, h, w),
+        "out_shape": (n, c, out_h, out_w),
+    }
+    return out._attach((x,), backward, "max_pool2d", meta)
 
 
 def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
@@ -240,9 +256,15 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
             return
         grad_cols = np.repeat(grad.reshape(-1, 1), window, axis=1) / window
         grad_images = col2im(grad_cols, (n * c, 1, h, w), kernel, stride, 0)
-        x._accumulate(grad_images.reshape(n, c, h, w))
+        x._accumulate(grad_images.reshape(n, c, h, w), fresh=True)
 
-    return out._attach((x,), backward)
+    meta = {
+        "kernel": kernel,
+        "stride": stride,
+        "image_shape": (n, c, h, w),
+        "out_shape": (n, c, out_h, out_w),
+    }
+    return out._attach((x,), backward, "avg_pool2d", meta)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -263,7 +285,9 @@ def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
 
     def backward(grad):
         if logits.requires_grad:
-            logits._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+            logits._accumulate(
+                grad - softmax * grad.sum(axis=axis, keepdims=True), fresh=True
+            )
 
     return out._attach((logits,), backward)
 
@@ -333,9 +357,11 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") 
             grad_logits[rows, targets] -= scale[:, 0]
         else:
             grad_logits[rows, targets] -= scale
-        logits._accumulate(grad_logits)
+        logits._accumulate(grad_logits, fresh=True)
 
-    return out._attach((logits,), backward)
+    return out._attach(
+        (logits,), backward, "cross_entropy", {"reduction": reduction, "targets": targets}
+    )
 
 
 def mse_loss(pred: Tensor, target, reduction: str = "mean") -> Tensor:
@@ -365,5 +391,10 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
     """Inverted dropout: scales kept activations by ``1/(1-p)``."""
     if not training or p <= 0.0:
         return x
+    tape = active_tape()
+    if tape is not None:
+        # The mask is drawn fresh every step; capturing it as a constant
+        # would silently replay one fixed mask forever.
+        tape.invalidate("dropout draws a fresh mask per step")
     mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
     return x * Tensor(mask)

@@ -17,7 +17,7 @@ import numpy as np
 from repro.grad import functional as F
 from repro.grad import init
 from repro.grad.nn.module import Module, Parameter
-from repro.grad.tensor import Tensor
+from repro.grad.tensor import Tensor, active_tape
 
 
 def _default_rng(rng: np.random.Generator | None) -> np.random.Generator:
@@ -150,6 +150,7 @@ class _BatchNorm(Module):
     def forward(self, x: Tensor) -> Tensor:
         axes = self._axes(x)
         stat_shape = self._shape(x)
+        tape = active_tape()
         if self.training:
             mean = x.mean(axis=axes, keepdims=True)
             var = x.var(axis=axes, keepdims=True)
@@ -168,9 +169,17 @@ class _BatchNorm(Module):
             self._set_buffer(
                 "num_batches_tracked", np.asarray(int(self.num_batches_tracked) + 1)
             )
+            if tape is not None:
+                # Replays must reproduce the running-stat update too.
+                tape.record_bn_update(self, mean, var, count)
         else:
             mean = Tensor(self.running_mean.reshape(stat_shape))
             var = Tensor(self.running_var.reshape(stat_shape))
+            if tape is not None:
+                # The buffers are rebound after aggregation/state loads, so
+                # replays must re-read them from the module each time.
+                tape.register_buffer_leaf(mean, self, "running_mean", stat_shape)
+                tape.register_buffer_leaf(var, self, "running_var", stat_shape)
         normalized = (x - mean) / ((var + self.eps) ** 0.5)
         weight = self.weight.reshape(*stat_shape)
         bias = self.bias.reshape(*stat_shape)

@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.grad.functional import reset_im2col_workspace
 from repro.grad.nn.module import Parameter
 
 
@@ -33,9 +34,7 @@ class Optimizer:
     def zero_grad(self) -> None:
         # A zero_grad marks a training-step boundary: the previous step's
         # graph is dead, so pooled im2col buffers may be recycled.
-        from repro.grad import functional
-
-        functional.reset_im2col_workspace()
+        reset_im2col_workspace()
         for param in self.params:
             param.grad = None
 
@@ -137,27 +136,39 @@ class SGD(Optimizer):
         """Apply one update; parameters without gradients are skipped."""
         if self.proximal_mu > 0 and self._anchor is None:
             raise RuntimeError("proximal_mu > 0 but no anchor set; call set_anchor()")
+        momentum = self.momentum
+        weight_decay = self.weight_decay
+        proximal_mu = self.proximal_mu
+        correction = self._correction
+        velocities = self._velocity
+        neg_lr = -self.lr
         for index, param in enumerate(self.params):
             if param.grad is None:
                 continue
             grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            if self.proximal_mu > 0:
-                grad = grad + self.proximal_mu * (param.data - self._anchor[index])
-            if self._correction is not None and self._correction_mode == "grad":
-                grad = grad + self._correction[index]
-            if self.momentum:
-                velocity = self._velocity[index]
+            if weight_decay:
+                grad = grad + weight_decay * param.data
+            if proximal_mu > 0:
+                grad = grad + proximal_mu * (param.data - self._anchor[index])
+            if correction is not None and self._correction_mode == "grad":
+                grad = grad + correction[index]
+            if momentum:
+                velocity = velocities[index]
                 if velocity is None:
                     velocity = np.array(grad, copy=True)
+                    velocities[index] = velocity
                 else:
-                    velocity = self.momentum * velocity + grad
-                self._velocity[index] = velocity
+                    # In place, same rounding as `m * v + g`: scale then add.
+                    np.multiply(velocity, momentum, out=velocity)
+                    velocity += grad
                 grad = velocity
-            if self._correction is not None and self._correction_mode == "step":
-                grad = grad + self._correction[index]
-            param.data = param.data - self.lr * grad
+            if correction is not None and self._correction_mode == "step":
+                grad = grad + correction[index]
+            # One temporary instead of two; (-lr) * g + w rounds exactly
+            # like w - lr * g, so the update stays bit-identical.
+            update = np.multiply(grad, neg_lr)
+            update += param.data
+            param.data = update
 
     def reset_state(self) -> None:
         """Drop momentum buffers (used when a party starts a new round)."""

@@ -18,10 +18,28 @@ import numpy as np
 
 _GRAD_ENABLED = True
 
+#: the active capture tape (see :mod:`repro.grad.capture`), or None.  When
+#: set, every op additionally appends a (kind, out, parents, meta) record —
+#: independent of grad mode, so inference programs can be captured too.
+_TAPE = None
+
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autodiff graph."""
     return _GRAD_ENABLED
+
+
+def active_tape():
+    """The capture tape currently recording ops, or None."""
+    return _TAPE
+
+
+def _set_tape(tape):
+    """Install ``tape`` as the active capture tape; returns the previous one."""
+    global _TAPE
+    previous = _TAPE
+    _TAPE = tape
+    return previous
 
 
 @contextlib.contextmanager
@@ -150,26 +168,47 @@ class Tensor:
     # ------------------------------------------------------------------
     # Graph machinery
     # ------------------------------------------------------------------
-    def _attach(self, parents: Sequence["Tensor"], backward) -> "Tensor":
+    def _attach(
+        self, parents: Sequence["Tensor"], backward, kind: str | None = None, meta=None
+    ) -> "Tensor":
         """Record ``self`` as the output of an op over ``parents``.
 
         ``backward`` receives the output gradient and is responsible for
         calling ``parent._accumulate(...)`` on each differentiable parent.
         No-op when grad mode is off or no parent requires grad.
+
+        ``kind``/``meta`` describe the op to an active capture tape (see
+        :mod:`repro.grad.capture`); ops without a ``kind`` invalidate the
+        tape, which falls back to eager execution.
         """
+        if _TAPE is not None:
+            _TAPE.record(kind, self, tuple(parents), meta)
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             self.requires_grad = True
             self._parents = tuple(parents)
             self._backward = backward
         return self
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's ``.grad`` buffer."""
-        grad = _unbroadcast(np.asarray(grad), self.data.shape)
+    def _accumulate(self, grad: np.ndarray, fresh: bool = False) -> None:
+        """Add ``grad`` into this tensor's ``.grad`` buffer.
+
+        ``fresh=True`` promises the caller hands over a newly-allocated
+        array it will never touch again; on first accumulation that array
+        is adopted directly instead of being copied (the dtype must match
+        and the array must be writable — broadcast views are not).
+        """
+        value = _unbroadcast(np.asarray(grad), self.data.shape)
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            if (
+                (fresh or value is not grad)
+                and value.dtype == self.data.dtype
+                and value.flags.writeable
+            ):
+                self.grad = value
+            else:
+                self.grad = value.astype(self.data.dtype, copy=True)
         else:
-            self.grad += grad
+            self.grad += value
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -236,12 +275,13 @@ class Tensor:
         out = Tensor(self.data + other.data)
 
         def backward(grad):
+            # The same grad object goes to both parents: never adopt it.
             if self.requires_grad:
                 self._accumulate(grad)
             if other.requires_grad:
                 other._accumulate(grad)
 
-        return out._attach((self, other), backward)
+        return out._attach((self, other), backward, "add")
 
     __radd__ = __add__
 
@@ -250,9 +290,9 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate(-grad, fresh=True)
 
-        return out._attach((self,), backward)
+        return out._attach((self,), backward, "neg")
 
     def __sub__(self, other) -> "Tensor":
         other = self._coerce(other)
@@ -262,9 +302,9 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad)
             if other.requires_grad:
-                other._accumulate(-grad)
+                other._accumulate(-grad, fresh=True)
 
-        return out._attach((self, other), backward)
+        return out._attach((self, other), backward, "sub")
 
     def __rsub__(self, other) -> "Tensor":
         return self._coerce(other).__sub__(self)
@@ -275,11 +315,11 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * other.data)
+                self._accumulate(grad * other.data, fresh=True)
             if other.requires_grad:
-                other._accumulate(grad * self.data)
+                other._accumulate(grad * self.data, fresh=True)
 
-        return out._attach((self, other), backward)
+        return out._attach((self, other), backward, "mul")
 
     __rmul__ = __mul__
 
@@ -289,11 +329,11 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad / other.data)
+                self._accumulate(grad / other.data, fresh=True)
             if other.requires_grad:
-                other._accumulate(-grad * self.data / (other.data**2))
+                other._accumulate(-grad * self.data / (other.data**2), fresh=True)
 
-        return out._attach((self, other), backward)
+        return out._attach((self, other), backward, "div")
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other).__truediv__(self)
@@ -305,9 +345,11 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+                self._accumulate(
+                    grad * exponent * self.data ** (exponent - 1), fresh=True
+                )
 
-        return out._attach((self,), backward)
+        return out._attach((self,), backward, "pow", {"exponent": exponent})
 
     # ------------------------------------------------------------------
     # Unary math
@@ -318,18 +360,18 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * out_data)
+                self._accumulate(grad * out_data, fresh=True)
 
-        return out._attach((self,), backward)
+        return out._attach((self,), backward, "exp")
 
     def log(self) -> "Tensor":
         out = Tensor(np.log(self.data))
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad / self.data)
+                self._accumulate(grad / self.data, fresh=True)
 
-        return out._attach((self,), backward)
+        return out._attach((self,), backward, "log")
 
     def sqrt(self) -> "Tensor":
         out = Tensor(np.sqrt(self.data))
@@ -337,9 +379,9 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad / (2.0 * out_data))
+                self._accumulate(grad / (2.0 * out_data), fresh=True)
 
-        return out._attach((self,), backward)
+        return out._attach((self,), backward, "sqrt")
 
     def tanh(self) -> "Tensor":
         out = Tensor(np.tanh(self.data))
@@ -347,9 +389,9 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
+                self._accumulate(grad * (1.0 - out_data**2), fresh=True)
 
-        return out._attach((self,), backward)
+        return out._attach((self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
         out = Tensor(1.0 / (1.0 + np.exp(-self.data)))
@@ -357,9 +399,9 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
+                self._accumulate(grad * out_data * (1.0 - out_data), fresh=True)
 
-        return out._attach((self,), backward)
+        return out._attach((self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
@@ -367,9 +409,9 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, fresh=True)
 
-        return out._attach((self,), backward)
+        return out._attach((self,), backward, "relu")
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
@@ -377,7 +419,7 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * sign)
+                self._accumulate(grad * sign, fresh=True)
 
         return out._attach((self,), backward)
 
@@ -387,7 +429,7 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, fresh=True)
 
         return out._attach((self,), backward)
 
@@ -406,7 +448,7 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._accumulate(np.broadcast_to(g, in_shape))
 
-        return out._attach((self,), backward)
+        return out._attach((self,), backward, "sum", {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         count = self.data.size if axis is None else _axis_size(self.data.shape, axis)
@@ -447,10 +489,13 @@ class Tensor:
         in_shape = self.data.shape
 
         def backward(grad):
+            # The reshaped view is exclusively ours by now (its owner's
+            # grad slot is freed right after this closure runs), so it is
+            # safe to adopt.
             if self.requires_grad:
-                self._accumulate(grad.reshape(in_shape))
+                self._accumulate(grad.reshape(in_shape), fresh=True)
 
-        return out._attach((self,), backward)
+        return out._attach((self,), backward, "reshape", {"shape": out.data.shape})
 
     def transpose(self, *axes: int) -> "Tensor":
         axes_tuple = axes if axes else tuple(reversed(range(self.data.ndim)))
@@ -459,9 +504,11 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad.transpose(inverse))
+                self._accumulate(grad.transpose(inverse), fresh=True)
 
-        return out._attach((self,), backward)
+        return out._attach(
+            (self,), backward, "transpose", {"axes": tuple(int(a) for a in axes_tuple)}
+        )
 
     @property
     def T(self) -> "Tensor":
@@ -476,7 +523,7 @@ class Tensor:
             if self.requires_grad:
                 full = np.zeros(in_shape, dtype=in_dtype)
                 np.add.at(full, index, grad)
-                self._accumulate(full)
+                self._accumulate(full, fresh=True)
 
         return out._attach((self,), backward)
 
@@ -490,18 +537,22 @@ class Tensor:
         def backward(grad):
             if self.requires_grad:
                 if other.data.ndim == 1:
-                    self._accumulate(np.outer(grad, other.data) if grad.ndim else grad * other.data)
+                    self._accumulate(
+                        np.outer(grad, other.data) if grad.ndim else grad * other.data,
+                        fresh=True,
+                    )
                 else:
-                    self._accumulate(grad @ _swap_last(other.data))
+                    self._accumulate(grad @ _swap_last(other.data), fresh=True)
             if other.requires_grad:
                 if self.data.ndim == 1:
                     other._accumulate(
-                        np.outer(self.data, grad) if grad.ndim else grad * self.data
+                        np.outer(self.data, grad) if grad.ndim else grad * self.data,
+                        fresh=True,
                     )
                 else:
-                    other._accumulate(_swap_last(self.data) @ grad)
+                    other._accumulate(_swap_last(self.data) @ grad, fresh=True)
 
-        return out._attach((self, other), backward)
+        return out._attach((self, other), backward, "matmul")
 
     __matmul__ = matmul
 

@@ -139,6 +139,9 @@ class ExecSpec:
     num_workers: int = 0
     checkpoint_every: int = 0
     checkpoint_path: str | None = None
+    #: capture & replay training/inference steps (bitwise-identical to
+    #: eager by contract, hence exec-section; see repro.grad.capture)
+    compile: bool = False
 
 
 #: RunSpec section name -> section dataclass (the order of to_dict output)
@@ -188,6 +191,7 @@ OVERRIDE_PATHS: dict[str, tuple[str | None, str]] = {
     "num_workers": ("exec", "num_workers"),
     "checkpoint_every": ("exec", "checkpoint_every"),
     "checkpoint_path": ("exec", "checkpoint_path"),
+    "compile": ("exec", "compile"),
     "seed": (None, "seed"),
 }
 
@@ -262,6 +266,7 @@ class RunSpec:
         deadline: float | None = None,
         checkpoint_every: int = 0,
         checkpoint_path: str | None = None,
+        compile: bool = False,
         seed: int = 0,
         algorithm_kwargs: dict | None = None,
         model_kwargs: dict | None = None,
@@ -339,6 +344,7 @@ class RunSpec:
                 num_workers=num_workers,
                 checkpoint_every=checkpoint_every,
                 checkpoint_path=checkpoint_path,
+                compile=compile,
             ),
             seed=seed,
         )

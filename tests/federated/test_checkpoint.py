@@ -43,6 +43,8 @@ def make_server(algorithm=None, num_parties=6, num_workers=0, **config_kwargs):
     defaults = dict(
         num_rounds=6, local_epochs=1, batch_size=16, lr=0.05,
         seed=23, num_workers=num_workers,
+        # Force the pool on single-CPU hosts, where "auto" degrades.
+        executor="parallel" if num_workers >= 2 else "auto",
     )
     defaults.update(config_kwargs)
     config = FederatedConfig(**defaults)

@@ -14,6 +14,7 @@ from repro.federated import (
     make_clients,
     make_executor,
 )
+from repro.federated import executor as executor_mod
 from repro.federated.executor import fork_available
 from repro.grad import nn
 from repro.partition import HomogeneousPartitioner
@@ -50,6 +51,10 @@ def make_server(algorithm, num_workers=0, num_parties=10, seed=0, **config_kwarg
     defaults = dict(
         num_rounds=2, local_epochs=2, batch_size=16, lr=0.05,
         seed=seed, num_workers=num_workers,
+        # Force the pool: "auto" degrades to serial on single-CPU hosts
+        # (e.g. CI containers), which would silently skip the parallel
+        # paths these tests exist to cover.
+        executor="parallel" if num_workers >= 2 else "auto",
     )
     defaults.update(config_kwargs)
     return FederatedServer(
@@ -80,12 +85,34 @@ class TestExecutorSelection:
     def test_default_is_serial(self):
         assert isinstance(make_executor(FederatedConfig()), SerialExecutor)
 
-    def test_auto_with_workers_is_parallel(self):
+    def test_auto_with_workers_is_parallel(self, monkeypatch):
         if not fork_available():  # pragma: no cover - POSIX containers fork
             pytest.skip("no fork")
+        monkeypatch.setattr(executor_mod, "_effective_cpu_count", lambda: 8)
         executor = make_executor(FederatedConfig(num_workers=4))
         assert isinstance(executor, ParallelExecutor)
         assert executor.num_workers == 4
+
+    def test_auto_degrades_to_serial_on_single_cpu(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "_effective_cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="single-CPU"):
+            executor = make_executor(FederatedConfig(num_workers=4))
+        assert isinstance(executor, SerialExecutor)
+
+    @needs_fork
+    def test_explicit_parallel_overrides_single_cpu(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "_effective_cpu_count", lambda: 1)
+        config = FederatedConfig(executor="parallel", num_workers=2)
+        executor = make_executor(config)
+        assert isinstance(executor, ParallelExecutor)
+
+    def test_single_cpu_degrade_recorded_in_round_fallback(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "_effective_cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="single-CPU"):
+            server = make_server(FedAvg(), num_workers=2, executor="auto")
+        assert isinstance(server.executor, SerialExecutor)
+        history = run_to_completion(server)
+        assert all(r.fallback == "serial:single-cpu" for r in history.records)
 
     def test_explicit_serial_ignores_workers(self):
         config = FederatedConfig(executor="serial", num_workers=8)

@@ -43,6 +43,8 @@ def make_server(num_parties=8, num_workers=0, algorithm=None, **config_kwargs):
     defaults = dict(
         num_rounds=4, local_epochs=1, batch_size=16, lr=0.05,
         seed=11, num_workers=num_workers,
+        # Force the pool on single-CPU hosts, where "auto" degrades.
+        executor="parallel" if num_workers >= 2 else "auto",
     )
     defaults.update(config_kwargs)
     config = FederatedConfig(**defaults)
