@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint bench bench-smoke
+.PHONY: test test-fast test-stacked lint bench bench-smoke
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -9,6 +9,10 @@ test: lint
 # Skip the fork-based parallel-executor tests (slowest part of the suite).
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not parallel"
+
+# Just the stacked-client replay executor and its compiler.
+test-stacked:
+	$(PYTHON) -m pytest -x -q -m stacked
 
 # Uses ruff or pyflakes when installed; otherwise a stdlib AST fallback.
 lint:

@@ -125,8 +125,18 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         help="worker processes for client training (0 = serial)",
     )
     parser.add_argument(
-        "--executor", default="auto", choices=("auto", "serial", "parallel"),
+        "--executor", default="auto",
+        choices=("auto", "serial", "parallel", "stacked"),
         help="client-execution backend (results are identical either way)",
+    )
+    parser.add_argument(
+        "--stack-size", type=int, default=16,
+        help="clients per batched replay stack for --executor=stacked",
+    )
+    parser.add_argument(
+        "--stacked-tolerance", type=float, default=0.0,
+        help="max drift the stacked executor's serial-vs-stacked check "
+        "accepts (0 = bitwise)",
     )
     parser.add_argument(
         "--party-sampler", default="uniform", choices=("uniform", "stratified"),
@@ -204,6 +214,8 @@ def _build_kwargs(args) -> dict:
         optimizer=args.optimizer,
         executor=args.executor,
         num_workers=args.num_workers,
+        stack_size=args.stack_size,
+        stacked_tolerance=args.stacked_tolerance,
         codec=args.codec,
         codec_bits=args.codec_bits,
         codec_k=args.codec_k,

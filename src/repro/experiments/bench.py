@@ -221,6 +221,109 @@ def bench_compiled_step(
     return rows
 
 
+#: stack sizes benchmarked; 1 is the serial compiled-replay baseline
+BENCH_STACK_SIZES = (1, 4, 16, 64)
+
+
+def bench_stacked_replay(
+    repeats: int = 3,
+    seed: int = 0,
+    steps: int = 10,
+    stack_sizes: tuple[int, ...] = BENCH_STACK_SIZES,
+) -> list[dict]:
+    """Per-client cost of batched stacked replay vs serial compiled replay.
+
+    For each model, times ``steps`` full SGD steps at every stack size
+    ``K`` — ``K = 1`` is the serial captured-replay fast path, ``K >= 2``
+    the :class:`~repro.grad.capture.StackedStep` program driving ``K``
+    clients through one set of fat NumPy ops — and reports seconds per
+    step *per client* (duel time / steps / K).  The win is amortized
+    dispatch: per-op Python/NumPy overhead is paid once per stack instead
+    of once per client, so per-client cost should fall as ``K`` grows
+    until the fat operands saturate memory bandwidth.
+    """
+    from repro.grad.capture import CaptureError, stacked_engine
+    from repro.grad.optim import StackedSGD
+
+    rows = []
+    for name in ("mlp", "cnn"):
+
+        def make_serial_runner():
+            model, features, labels = _step_fixture(name, seed=seed)
+            model.train()
+            optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
+            engine = training_engine(model)
+
+            def one_step():
+                optimizer.zero_grad()
+                engine.step(features, labels)
+                optimizer.step()
+
+            one_step()  # warm-up: the capture step
+            return one_step
+
+        def make_stacked_runner(stack):
+            model, features, labels = _step_fixture(name, seed=seed)
+            try:
+                program = stacked_engine(model).program(
+                    stack,
+                    np.zeros_like(features),
+                    np.zeros(labels.shape, np.int64),
+                )
+            except CaptureError:
+                return None
+            state = model.state_dict()
+            keys = [key for key, _ in model.named_parameters()]
+            stacks = [program.param_stack(i) for i in range(len(keys))]
+            for index, key in enumerate(keys):
+                if stacks[index] is not None:
+                    stacks[index][:] = state[key]
+            optimizer = StackedSGD(stacks, lr=0.01, momentum=0.9)
+
+            def one_step():
+                # Bill the per-client batch staging too — the executor
+                # pays it every step, so leaving it out would flatter
+                # large stacks.
+                for k in range(stack):
+                    program.features[k] = features
+                    program.labels[k] = labels
+                program.step()
+                optimizer.step(program.grads())
+
+            one_step()  # warm-up
+            return one_step
+
+        runners = []
+        for stack in stack_sizes:
+            runner = make_serial_runner() if stack == 1 else make_stacked_runner(stack)
+            if runner is not None:
+                runners.append((stack, runner))
+
+        def run_many(step_fn):
+            return lambda: [step_fn() for _ in range(steps)]
+
+        times = _duel([run_many(fn) for _, fn in runners], repeats)
+        serial_per_client = None
+        for (stack, _), seconds in zip(runners, times):
+            per_client = seconds / steps / stack
+            if stack == 1:
+                serial_per_client = per_client
+            rows.append(
+                {
+                    "model": name,
+                    "stack_size": stack,
+                    "seconds_per_step": round(seconds / steps, 6),
+                    "per_client_seconds_per_step": round(per_client, 6),
+                    "speedup_vs_serial": (
+                        round(serial_per_client / per_client, 2)
+                        if serial_per_client and per_client > 0
+                        else None
+                    ),
+                }
+            )
+    return rows
+
+
 def bench_eval_fastpath(repeats: int = 3, seed: int = 0, n_test: int = 512) -> dict:
     """Two-pass vs fused vs captured-replay evaluation of the bench CNN."""
     _, test, info = load_dataset("mnist", n_train=64, n_test=n_test, seed=seed)
@@ -462,6 +565,12 @@ def run_benchmarks(
             repeats=repeats if smoke else max(repeats, 8),
             seed=seed,
             steps=5 if smoke else 20,
+        ),
+        "stacked_replay": bench_stacked_replay(
+            repeats=repeats if smoke else max(repeats, 5),
+            seed=seed,
+            steps=3 if smoke else 10,
+            stack_sizes=(1, 4) if smoke else BENCH_STACK_SIZES,
         ),
         "eval_fastpath": bench_eval_fastpath(
             repeats=repeats if smoke else max(repeats, 3),

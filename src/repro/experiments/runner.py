@@ -132,6 +132,8 @@ def run_spec(spec: RunSpec, resume: str | None = None) -> ExperimentOutcome:
         bn_policy=spec.train.bn_policy,
         executor=spec.exec.executor,
         num_workers=spec.exec.num_workers,
+        stack_size=spec.exec.stack_size,
+        stacked_tolerance=spec.exec.stacked_tolerance,
         codec=spec.comm.codec,
         codec_bits=spec.comm.bits,
         codec_k=spec.comm.k,

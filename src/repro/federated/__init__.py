@@ -38,6 +38,8 @@ from repro.federated.executor import (
     ParallelExecutor,
     RoundExecution,
     SerialExecutor,
+    StackedDriftError,
+    StackedExecutor,
     make_executor,
 )
 from repro.federated.faults import FaultModel, InjectedCrash, PartyFault
@@ -69,6 +71,8 @@ __all__ = [
     "ClientExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "StackedExecutor",
+    "StackedDriftError",
     "RoundExecution",
     "make_executor",
     "FaultModel",

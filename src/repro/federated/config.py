@@ -66,15 +66,27 @@ class FederatedConfig:
     executor:
         Client-execution backend: ``"serial"`` (one process, the classic
         loop), ``"parallel"`` (a fork-based worker pool; requires
-        ``num_workers >= 2``), or ``"auto"`` (parallel when
-        ``num_workers >= 2`` and the platform supports fork, else
-        serial).  Results are bitwise identical across backends; see
-        :mod:`repro.federated.executor`.
+        ``num_workers >= 2``), ``"stacked"`` (batch up to ``stack_size``
+        clients' local rounds into one fat compiled replay; see
+        :class:`~repro.federated.executor.StackedExecutor`), or
+        ``"auto"`` (parallel when ``num_workers >= 2`` and the platform
+        supports fork, else serial).  Results are bitwise identical
+        across backends; see :mod:`repro.federated.executor`.
     num_workers:
         Worker processes for the parallel executor.  ``0`` (and ``1``)
         mean single-process execution.  A good starting point is the
         machine's physical core count, capped by the number of parties
         sampled per round — extra workers only idle.
+    stack_size:
+        Clients per stack for ``executor="stacked"`` (K; >= 2).  Larger
+        stacks amortize NumPy dispatch over more clients per op; returns
+        diminish once the fat operands saturate cache/BLAS throughput.
+    stacked_tolerance:
+        Max-abs per-element drift the stacked executor's serial-vs-
+        stacked check accepts.  ``0.0`` (default) demands bitwise
+        identity — correct on hosts whose batched GEMM runs each slice
+        through the 2-D kernel; hosts that reassociate the reduction
+        need a small positive tolerance (the drift check tells you).
     codec:
         Update-compression codec applied to both transport directions
         (see :mod:`repro.comm`): ``"identity"`` (the paper's float32
@@ -144,6 +156,8 @@ class FederatedConfig:
     optimizer: str = "sgd"
     executor: str = "auto"
     num_workers: int = 0
+    stack_size: int = 16
+    stacked_tolerance: float = 0.0
     codec: str = "identity"
     codec_bits: int = 8
     codec_k: float = 0.1
@@ -190,14 +204,23 @@ class FederatedConfig:
                 f"optimizer must be 'sgd', 'adam' or 'amsgrad', "
                 f"got {self.optimizer!r}"
             )
-        if self.executor not in ("auto", "serial", "parallel"):
+        if self.executor not in ("auto", "serial", "parallel", "stacked"):
             raise ValueError(
-                f"executor must be 'auto', 'serial' or 'parallel', "
-                f"got {self.executor!r}"
+                f"executor must be 'auto', 'serial', 'parallel' or "
+                f"'stacked', got {self.executor!r}"
             )
         if self.num_workers < 0:
             raise ValueError(
                 f"num_workers must be non-negative, got {self.num_workers}"
+            )
+        if self.stack_size < 2:
+            raise ValueError(
+                f"stack_size must be >= 2, got {self.stack_size}"
+            )
+        if self.stacked_tolerance < 0:
+            raise ValueError(
+                f"stacked_tolerance must be non-negative, "
+                f"got {self.stacked_tolerance}"
             )
         if self.executor == "parallel" and self.num_workers < 2:
             raise ValueError(

@@ -13,6 +13,7 @@ quantity FedNova's normalization needs — and the trained state dict.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,6 +38,34 @@ class LocalTrainingResult:
     mean_loss: float
 
 
+#: Interception point for alternative local-training backends.  The
+#: algorithms bind ``run_local_training`` at import time, so a backend
+#: (the stacked executor) cannot monkeypatch the name — it installs a
+#: hook here instead.  The hook sees the exact call the algorithm makes
+#: (model already loaded with this party's start state) and may return a
+#: finished :class:`LocalTrainingResult` to short-circuit, raise to
+#: abort, or return None to fall through to the normal loop.
+_TRAINING_HOOK = None
+
+
+@contextmanager
+def local_training_hook(hook):
+    """Install ``hook`` for the duration of the ``with`` block.
+
+    ``hook(model, client, config, proximal_mu, anchor, correction,
+    correction_mode)`` runs at the top of :func:`run_local_training`.
+    Hooks do not nest: installing one while another is active raises.
+    """
+    global _TRAINING_HOOK
+    if _TRAINING_HOOK is not None:
+        raise RuntimeError("a local-training hook is already installed")
+    _TRAINING_HOOK = hook
+    try:
+        yield
+    finally:
+        _TRAINING_HOOK = None
+
+
 def run_local_training(
     model: Module,
     client: Client,
@@ -51,6 +80,12 @@ def run_local_training(
     The model is mutated in place; callers snapshot ``model.state_dict()``
     from the returned result.
     """
+    if _TRAINING_HOOK is not None:
+        result = _TRAINING_HOOK(
+            model, client, config, proximal_mu, anchor, correction, correction_mode
+        )
+        if result is not None:
+            return result
     # Single gate for every non-SGD local optimizer (adam AND amsgrad):
     # SCAFFOLD's drift correction is defined on the SGD update rule, so
     # reject it here once instead of scattering per-optimizer checks.

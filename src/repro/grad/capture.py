@@ -1086,6 +1086,1039 @@ class _Compiler:
 
 
 # ----------------------------------------------------------------------
+# Stacked-client replay
+# ----------------------------------------------------------------------
+def _stacked_unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` to the stacked target ``shape`` = (K,) + base.
+
+    The client axis is *leading*, so broadcast dimensions live between it
+    and the base shape; this mirrors :func:`repro.grad.tensor._unbroadcast`
+    with every reduction shifted one axis right, which keeps the per-slice
+    summation pattern identical to the eager single-client pass.
+    """
+    if grad.shape == shape:
+        return grad
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(1, 1 + extra_dims)))
+    stretched = tuple(
+        axis
+        for axis in range(1, len(shape))
+        if shape[axis] == 1 and grad.shape[axis] != 1
+    )
+    if stretched:
+        grad = grad.sum(axis=stretched, keepdims=True)
+    return grad.reshape(shape)
+
+
+_STACKED_EXACT: bool | None = None
+
+
+def stacked_matmul_is_exact() -> bool:
+    """Whether this host's batched 3-D matmul is bitwise per-slice exact.
+
+    The stacked kernels turn every 2-D GEMM into one slice of a 3-D
+    batched GEMM.  Most BLAS builds dispatch each batch slice to the same
+    2-D kernel (exact); some reassociate the reduction for small shapes.
+    This probes the actual library once with the three matmul layouts the
+    replay uses (forward, dX, dW) so tests and the drift check can pick
+    bitwise or tolerance assertions to match reality.
+    """
+    global _STACKED_EXACT
+    if _STACKED_EXACT is None:
+        rng = np.random.default_rng(0xC11E27)
+        exact = True
+        for m, n, p in ((32, 784, 64), (32, 64, 10), (64, 400, 120)):
+            x = rng.standard_normal((4, m, n)).astype(np.float32)
+            w = rng.standard_normal((4, p, n)).astype(np.float32)
+            fwd = x @ w.transpose(0, 2, 1)
+            gw = fwd.transpose(0, 2, 1) @ x
+            gx = fwd @ w
+            for k in range(4):
+                exact = (
+                    exact
+                    and np.array_equal(fwd[k], x[k] @ w[k].T)
+                    and np.array_equal(gw[k], fwd[k].T @ x[k])
+                    and np.array_equal(gx[k], fwd[k] @ w[k])
+                )
+        _STACKED_EXACT = bool(exact)
+    return _STACKED_EXACT
+
+
+class StackedStep:
+    """A compiled training step batched over a leading client axis.
+
+    Every stacked slot holds a ``(K,) + base`` array.  Parameters live in
+    arena buffers *owned by the program*: the caller copies each client's
+    weights in (:meth:`param_stack`), an optimizer mutates them in place
+    between steps, and the trained values are read back out of the same
+    buffers — rebinding them would break the compiled views.
+    """
+
+    __slots__ = (
+        "arena",
+        "forward_ops",
+        "backward_ops",
+        "param_slots",
+        "input_slot",
+        "labels_slot",
+        "out_slot",
+        "gbufs",
+        "gseen",
+        "gseen_false",
+        "seed",
+        "acc",
+        "stack",
+    )
+
+    def __init__(self, **fields):
+        for name, value in fields.items():
+            setattr(self, name, value)
+
+    @property
+    def features(self) -> np.ndarray:
+        """The ``(K, batch, ...)`` input buffer; fill one row per client."""
+        return self.arena[self.input_slot]
+
+    @property
+    def labels(self) -> np.ndarray:
+        """The ``(K, batch)`` target buffer; fill one row per client."""
+        return self.arena[self.labels_slot]
+
+    def param_stack(self, index: int) -> np.ndarray | None:
+        """The ``(K,) + shape`` buffer of parameter ``index`` (in
+        ``model.parameters()`` order), or None when the traced step never
+        touched that parameter."""
+        slot = self.param_slots[index]
+        return None if slot is None else self.arena[slot]
+
+    def step(self) -> np.ndarray:
+        """One batched SGD step's forward+backward; returns (K,) losses.
+
+        Gradients are left in :meth:`grads`; the returned array is an
+        arena buffer overwritten by the next call.
+        """
+        for op in self.forward_ops:
+            op()
+        self.gseen[:] = self.gseen_false
+        self.acc(self.out_slot, self.seed)
+        for op in self.backward_ops:
+            op()
+        return self.arena[self.out_slot]
+
+    def grads(self) -> list:
+        """Per-parameter ``(K,) + shape`` gradients, aligned with
+        ``model.parameters()``; None entries received no gradient."""
+        gbufs = self.gbufs
+        return [
+            None if slot is None else gbufs[slot] for slot in self.param_slots
+        ]
+
+
+class _StackedCompiler(_Compiler):
+    """Compiles a tape into a :class:`StackedStep` over K clients.
+
+    Slot layout: op outputs, parameters, the input batch and the labels
+    become ``(K,) + base`` buffers; non-parameter constants stay unstacked
+    and broadcast (NumPy's right-alignment handles them untouched).  A
+    stacked operand whose base rank is *below* the output's base rank
+    must be viewed as ``(K, 1, ..., base)`` before any broadcasting op —
+    naive right-alignment would smear the client axis across a data
+    dimension — which is what :meth:`_reader` provides.
+    """
+
+    def __init__(self, tape, input_tensor, output, labels, stack, params):
+        self.stack = stack
+        self._stacked: set[int] = set()
+        self._param_index = {id(p): i for i, p in enumerate(params)}
+        self.param_slots: list[int | None] = [None] * len(params)
+        super().__init__(tape, input_tensor, output, labels)
+
+    # -- slots ----------------------------------------------------------
+    def _ensure_slot(self, t: Tensor, is_out: bool) -> int:
+        existing = self.slots.get(id(t))
+        if existing is not None:
+            return existing
+        stack = self.stack
+        base_shape = t.data.shape
+        dtype = t.data.dtype
+        if is_out:
+            slot = self._new_slot((stack,) + base_shape, dtype)
+            self.slots[id(t)] = slot
+            self._stacked.add(slot)
+            return slot
+        if isinstance(t, Parameter):
+            index = self._param_index.get(id(t))
+            if index is None:
+                raise CaptureError(
+                    "traced parameter is not in the model's parameter list"
+                )
+            slot = self._new_slot((stack,) + base_shape, dtype)
+            self.slots[id(t)] = slot
+            self._stacked.add(slot)
+            self.arena[slot] = np.empty((stack,) + base_shape, dtype)
+            self.param_slots[index] = slot
+            return slot
+        if t is self.input_tensor:
+            slot = self._new_slot((stack,) + base_shape, dtype)
+            self.slots[id(t)] = slot
+            self._stacked.add(slot)
+            self.arena[slot] = np.empty((stack,) + base_shape, dtype)
+            self.input_slot = slot
+            return slot
+        if id(t) in self._buffer_leaf_map:
+            raise CaptureError(
+                "stacked replay does not support module buffers (batch norm)"
+            )
+        if t.requires_grad:
+            raise CaptureError(
+                "stacked replay cannot bind a gradient-bearing non-parameter leaf"
+            )
+        # Constant (coerced scalar, eps, ...): shared by all clients.
+        slot = self._new_slot(base_shape, dtype)
+        self.slots[id(t)] = slot
+        self.arena[slot] = np.array(t.data, copy=True)
+        return slot
+
+    def _make_acc(self):
+        shapes, dtypes, gbufs = self.shapes, self.dtypes, self.gbufs
+        seen: list = []
+
+        def acc(slot, value, fresh=False):
+            if value.shape != shapes[slot]:
+                value = _stacked_unbroadcast(np.asarray(value), shapes[slot])
+            if seen[slot]:
+                gbufs[slot] += value
+            else:
+                if (
+                    fresh
+                    and value.dtype == dtypes[slot]
+                    and value.flags.writeable
+                ):
+                    gbufs[slot] = value
+                else:
+                    buf = gbufs[slot]
+                    if buf is None:
+                        gbufs[slot] = value.astype(dtypes[slot], copy=True)
+                    else:
+                        np.copyto(buf, value)
+                seen[slot] = True
+
+        self._acc_seen = seen
+        return acc
+
+    def _reader(self, t: Tensor, out_base_ndim: int):
+        """A zero-arg closure yielding ``t``'s buffer, viewed so its
+        base dims align right against a stacked output of that rank."""
+        slot = self.slot(t)
+        arena = self.arena
+        if slot not in self._stacked:
+            return lambda: arena[slot]
+        base = self.shapes[slot][1:]
+        if len(base) >= out_base_ndim:
+            return lambda: arena[slot]
+        view_shape = (
+            (self.stack,) + (1,) * (out_base_ndim - len(base)) + base
+        )
+        return lambda: arena[slot].reshape(view_shape)
+
+    # -- compile --------------------------------------------------------
+    def compile_stacked(self) -> StackedStep:
+        stack = self.stack
+        self.labels_slot = self._new_slot(
+            (stack,) + self.labels.shape, self.labels.dtype
+        )
+        self.arena[self.labels_slot] = np.empty(
+            (stack,) + self.labels.shape, self.labels.dtype
+        )
+        self._stacked.add(self.labels_slot)
+
+        forward_ops: list = []
+        for kind, entry in self.tape.entries:
+            if kind != "op":
+                raise CaptureError(
+                    "stacked replay does not support batch-norm updates"
+                )
+            for parent in entry.parents:
+                self._ensure_slot(parent, is_out=False)
+            self._ensure_slot(entry.out, is_out=True)
+            forward_ops.append(self._forward_op(entry))
+
+        if id(self.output) not in self.slots:
+            raise CaptureError("model output is not an op of the tape")
+        if not self.output.requires_grad:
+            raise CaptureError("output does not require grad")
+        if self.output.data.size != 1:
+            raise CaptureError("backward capture needs a scalar loss")
+        seed = np.ones(
+            (stack,) + self.output.data.shape, dtype=self.output.data.dtype
+        )
+
+        backward_ops: list = []
+        for node in reversed(self._toposort()):
+            if node._backward is None:
+                continue
+            rec = self._recmap.get(id(node))
+            if rec is None:
+                raise CaptureError("graph node missing from the tape")
+            kernel = self._backward_op(rec)
+            if kernel is not None:
+                backward_ops.append(kernel)
+
+        if self.input_slot is None:
+            raise CaptureError("model output does not depend on the input batch")
+
+        self._acc_seen.extend([False] * len(self.arena))
+        return StackedStep(
+            arena=self.arena,
+            forward_ops=forward_ops,
+            backward_ops=backward_ops,
+            param_slots=self.param_slots,
+            input_slot=self.input_slot,
+            labels_slot=self.labels_slot,
+            out_slot=self.slot(self.output),
+            gbufs=self.gbufs,
+            gseen=self._acc_seen,
+            gseen_false=[False] * len(self.arena),
+            seed=seed,
+            acc=self.acc,
+            stack=stack,
+        )
+
+    # -- forward kernels ------------------------------------------------
+    def _forward_op(self, rec: _OpRecord):
+        kind = rec.kind
+        arena = self.arena
+        stack = self.stack
+        o = self.slot(rec.out)
+        srcs = [self.slot(p) for p in rec.parents]
+        out_base = rec.out.data.shape
+
+        if kind in _BINARY_UFUNCS:
+            fn = _BINARY_UFUNCS[kind]
+            a, b = srcs
+            ra = self._reader(rec.parents[0], len(out_base))
+            rb = self._reader(rec.parents[1], len(out_base))
+            buf = None
+            if kind == "add":
+                # Same bias-add peephole as the serial compiler, against
+                # the stacked matmul buffer.
+                src_rec = self._recmap.get(id(rec.parents[0]))
+                prior = arena[a]
+                if (
+                    src_rec is not None
+                    and src_rec.kind == "matmul"
+                    and self._consumers.get(id(rec.parents[0])) == 1
+                    and rec.parents[0] is not self.output
+                    and isinstance(prior, np.ndarray)
+                    and prior.shape == (stack,) + out_base
+                    and prior.dtype == rec.out.data.dtype
+                ):
+                    buf = prior
+            if buf is None:
+                buf = np.empty((stack,) + out_base, rec.out.data.dtype)
+            arena[o] = buf
+
+            def run():
+                fn(ra(), rb(), out=buf)
+
+            return run
+
+        if kind in _UNARY_UFUNCS:
+            fn = _UNARY_UFUNCS[kind]
+            buf = np.empty((stack,) + out_base, rec.out.data.dtype)
+            arena[o] = buf
+            (a,) = srcs
+
+            def run():
+                fn(arena[a], out=buf)
+
+            return run
+
+        if kind == "relu":
+            return self._relu(rec)
+
+        if kind == "sigmoid":
+            buf = np.empty((stack,) + out_base, rec.out.data.dtype)
+            arena[o] = buf
+            (a,) = srcs
+            st: dict = {}
+
+            def run():
+                xv = arena[a]
+                t = st.get("t")
+                if t is None:
+                    t = np.exp(-xv)
+                    st["t"] = t
+                else:
+                    np.negative(xv, out=t)
+                    np.exp(t, out=t)
+                np.add(1.0, t, out=t)
+                np.divide(1.0, t, out=buf)
+
+            return run
+
+        if kind == "pow":
+            exponent = rec.meta["exponent"]
+            (a,) = srcs
+
+            def run():
+                arena[o] = arena[a] ** exponent
+
+            return run
+
+        if kind == "sum":
+            axis = rec.meta["axis"]
+            keepdims = rec.meta["keepdims"]
+            (a,) = srcs
+            buf = np.empty((stack,) + out_base, rec.out.data.dtype)
+            arena[o] = buf
+            if axis is None:
+                # Full reduce becomes a per-client reduce over the
+                # flattened base; C-order flattening matches the eager
+                # element sequence slice for slice.
+                flat_out = buf.reshape(stack)
+
+                def run():
+                    arena[a].reshape(stack, -1).sum(axis=1, out=flat_out)
+
+                return run
+            saxis = (
+                tuple(ax + 1 if ax >= 0 else ax for ax in axis)
+                if isinstance(axis, tuple)
+                else (axis + 1 if axis >= 0 else axis)
+            )
+
+            def run():
+                arena[a].sum(axis=saxis, keepdims=keepdims, out=buf)
+
+            return run
+
+        if kind == "reshape":
+            shape = (stack,) + tuple(rec.meta["shape"])
+            (a,) = srcs
+
+            def run():
+                arena[o] = arena[a].reshape(shape)
+
+            return run
+
+        if kind == "transpose":
+            in_ndim = rec.parents[0].data.ndim
+            axes = tuple(ax % in_ndim for ax in rec.meta["axes"])
+            saxes = (0,) + tuple(ax + 1 for ax in axes)
+            (a,) = srcs
+
+            def run():
+                arena[o] = arena[a].transpose(saxes)
+
+            return run
+
+        if kind == "matmul":
+            if rec.parents[0].data.ndim < 2 or rec.parents[1].data.ndim < 2:
+                raise CaptureError("stacked matmul needs >= 2-D operands")
+            ra = self._reader(rec.parents[0], len(out_base))
+            rb = self._reader(rec.parents[1], len(out_base))
+            buf = np.empty((stack,) + out_base, rec.out.data.dtype)
+            arena[o] = buf
+
+            def run():
+                np.matmul(ra(), rb(), out=buf)
+
+            return run
+
+        if kind == "conv2d":
+            return self._conv2d(rec)
+        if kind == "max_pool2d":
+            return self._max_pool2d(rec)
+        if kind == "avg_pool2d":
+            return self._avg_pool2d(rec)
+        if kind == "cross_entropy":
+            return self._cross_entropy(rec)
+
+        raise CaptureError(f"no stacked forward kernel for op kind {kind!r}")
+
+    def _bn_op(self, entry):
+        raise CaptureError("stacked replay does not support batch-norm updates")
+
+    # -- composite kernels ----------------------------------------------
+    def _relu(self, rec: _OpRecord):
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        stack = self.stack
+        x_t = rec.parents[0]
+        a = self.slot(x_t)
+        o = self.slot(rec.out)
+        buf = np.empty((stack,) + rec.out.data.shape, rec.out.data.dtype)
+        arena[o] = buf
+        mask = np.empty((stack,) + x_t.data.shape, dtype=bool)
+        cell = _Cell()
+
+        def fwd():
+            np.maximum(arena[a], 0.0, out=buf)
+
+        def bwd():
+            np.greater(arena[a], 0, out=mask)
+            acc(a, _binout(cell, np.multiply, gbufs[o], mask), fresh=True)
+
+        self._register_bwd(rec, bwd, x_t.requires_grad)
+        return fwd
+
+    def _conv2d(self, rec: _OpRecord):
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        stack = self.stack
+        meta = rec.meta
+        n, c, h, w = meta["image_shape"]
+        _, oc, oh, ow = meta["out_shape"]
+        kernel, stride, padding = meta["kernel"], meta["stride"], meta["padding"]
+        has_bias = meta["has_bias"]
+        x_t, w_t = rec.parents[0], rec.parents[1]
+        b_t = rec.parents[2] if has_bias else None
+        sx, sw = self.slot(x_t), self.slot(w_t)
+        sb = self.slot(b_t) if has_bias else None
+        o = self.slot(rec.out)
+        ckk = c * kernel * kernel
+        m = n * oh * ow
+        weight_stack_shape = (stack,) + w_t.data.shape
+        w_stacked = sw in self._stacked
+        b_stacked = has_bias and sb in self._stacked
+        st: dict = {}
+        gw_cell, gc_cell = _Cell(), _Cell()
+
+        def flat_weight_view():
+            wt = arena[sw]
+            return wt.reshape(stack, oc, ckk) if w_stacked else wt.reshape(oc, ckk)
+
+        def fwd():
+            x = arena[sx]
+            flat_weight = flat_weight_view()
+            img = x
+            if padding > 0:
+                padded = st.get("padded")
+                if padded is None:
+                    padded = np.zeros(
+                        (stack, n, c, h + 2 * padding, w + 2 * padding),
+                        dtype=x.dtype,
+                    )
+                    st["padded"] = padded
+                padded[:, :, :, padding : padding + h, padding : padding + w] = x
+                img = padded
+            strides = img.strides
+            windows = as_strided(
+                img,
+                shape=(stack, n, c, oh, ow, kernel, kernel),
+                strides=(
+                    strides[0],
+                    strides[1],
+                    strides[2],
+                    strides[3] * stride,
+                    strides[4] * stride,
+                    strides[3],
+                    strides[4],
+                ),
+                writeable=False,
+            )
+            cols7 = st.get("cols7")
+            if cols7 is None:
+                cols7 = np.empty(
+                    (stack, n, oh, ow, c, kernel, kernel), dtype=x.dtype
+                )
+                st["cols7"] = cols7
+                st["cols3"] = cols7.reshape(stack, m, ckk)
+            np.copyto(cols7, windows.transpose(0, 1, 3, 4, 2, 5, 6))
+            cols3 = st["cols3"]
+            fwT = (
+                flat_weight.transpose(0, 2, 1) if w_stacked else flat_weight.T
+            )
+            mm = st.get("mm")
+            if mm is None:
+                mm = cols3 @ fwT
+                st["mm"] = mm
+            else:
+                np.matmul(cols3, fwT, out=mm)
+            out_flat = mm
+            if has_bias:
+                bias = arena[sb]
+                bview = bias.reshape(stack, 1, oc) if b_stacked else bias
+                bout = st.get("bout")
+                if bout is None:
+                    bout = out_flat + bview
+                    st["bout"] = bout
+                else:
+                    np.add(out_flat, bview, out=bout)
+                out_flat = bout
+            arena[o] = out_flat.reshape(stack, n, oh, ow, oc).transpose(
+                0, 1, 4, 2, 3
+            )
+
+        x_req = x_t.requires_grad
+        w_req = w_t.requires_grad
+        b_req = has_bias and b_t.requires_grad
+
+        def col2im_replay(gc):
+            # The stacked analogue of the serial compiler's col2im replay:
+            # one extra leading axis on every buffer, the same (ki, kj)
+            # slice-add order per client slice.
+            gcT = st.get("gcT")
+            if gcT is None:
+                gcT = np.empty(
+                    (kernel, kernel, stack, n, c, oh, ow), dtype=gc.dtype
+                )
+                st["gcT"] = gcT
+                st["gpad"] = np.zeros(
+                    (stack, n, c, h + 2 * padding, w + 2 * padding),
+                    dtype=gc.dtype,
+                )
+            np.copyto(
+                gcT,
+                gc.reshape(stack, n, oh, ow, c, kernel, kernel).transpose(
+                    5, 6, 0, 1, 4, 2, 3
+                ),
+            )
+            gpad = st["gpad"]
+            gpad.fill(0.0)
+            for ki in range(kernel):
+                h_stop = ki + stride * oh
+                for kj in range(kernel):
+                    w_stop = kj + stride * ow
+                    gpad[:, :, :, ki:h_stop:stride, kj:w_stop:stride] += gcT[
+                        ki, kj
+                    ]
+            if padding > 0:
+                return gpad[:, :, :, padding:-padding, padding:-padding]
+            return gpad
+
+        def bwd():
+            g = gbufs[o]
+            grad_flat = g.transpose(0, 1, 3, 4, 2).reshape(stack, m, oc)
+            cols3 = st["cols3"]
+            flat_weight = flat_weight_view()
+            if w_req:
+                gw = _binout(
+                    gw_cell, np.matmul, grad_flat.transpose(0, 2, 1), cols3
+                )
+                acc(sw, gw.reshape(weight_stack_shape), fresh=True)
+            if b_req:
+                acc(sb, grad_flat.sum(axis=1), fresh=True)
+            if x_req:
+                gc = _binout(gc_cell, np.matmul, grad_flat, flat_weight)
+                acc(sx, col2im_replay(gc), fresh=True)
+
+        self._register_bwd(rec, bwd, x_req or w_req or b_req)
+        return fwd
+
+    def _max_pool2d(self, rec: _OpRecord):
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        stack = self.stack
+        meta = rec.meta
+        kernel, stride = meta["kernel"], meta["stride"]
+        n, c, h, w = meta["image_shape"]
+        _, _, oh, ow = meta["out_shape"]
+        # K*n*c image planes form one flat batch: pooling never mixes
+        # planes, so the serial kernel's geometry applies verbatim.
+        nc = stack * n * c
+        x_t = rec.parents[0]
+        sx = self.slot(x_t)
+        o = self.slot(rec.out)
+        window = kernel * kernel
+        count = nc * oh * ow
+        rows = np.arange(count)
+        flat_base = rows * window
+        ki, kj = np.divmod(np.arange(window), kernel)
+        b, rem = np.divmod(rows, oh * ow)
+        a_h, a_w = np.divmod(rem, ow)
+        col_to_img = (
+            b[:, None] * (h * w)
+            + (a_h[:, None] * stride + ki[None, :]) * w
+            + (a_w[:, None] * stride + kj[None, :])
+        ).ravel()
+        nonoverlap = stride >= kernel
+        st: dict = {}
+
+        def fwd():
+            as_batch = arena[sx].reshape(nc, 1, h, w)
+            strides = as_batch.strides
+            windows = as_strided(
+                as_batch,
+                shape=(nc, 1, oh, ow, kernel, kernel),
+                strides=(
+                    strides[0],
+                    strides[1],
+                    strides[2] * stride,
+                    strides[3] * stride,
+                    strides[2],
+                    strides[3],
+                ),
+                writeable=False,
+            )
+            cols6 = st.get("cols6")
+            if cols6 is None:
+                cols6 = np.empty(
+                    (nc, oh, ow, 1, kernel, kernel), dtype=as_batch.dtype
+                )
+                st["cols6"] = cols6
+                st["cols2"] = cols6.reshape(count, window)
+                st["arg"] = np.empty(count, dtype=np.intp)
+                st["idx"] = np.empty(count, dtype=np.intp)
+                st["out"] = np.empty(
+                    (stack, n, c, oh, ow), dtype=as_batch.dtype
+                )
+            np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
+            cols2 = st["cols2"]
+            arg = np.argmax(cols2, axis=1, out=st["arg"])
+            idx = np.add(flat_base, arg, out=st["idx"])
+            out = st["out"]
+            np.take(cols2.reshape(-1), idx, out=out.reshape(-1))
+            arena[o] = out
+
+        def bwd():
+            g = gbufs[o]
+            if nonoverlap:
+                gimg = st.get("gimg")
+                if gimg is None:
+                    gimg = np.empty(nc * h * w, dtype=g.dtype)
+                    st["gimg"] = gimg
+                    st["imgidx"] = np.empty(count, dtype=np.intp)
+                    st["gtmp"] = np.empty(count, dtype=g.dtype)
+                gimg.fill(0.0)
+                imgidx = np.take(col_to_img, st["idx"], out=st["imgidx"])
+                gtmp = np.add(g.reshape(-1), 0.0, out=st["gtmp"])
+                gimg[imgidx] = gtmp
+                acc(sx, gimg.reshape(stack, n, c, h, w), fresh=True)
+                return
+            cols2 = st["cols2"]
+            gc = st.get("gc")
+            if gc is None:
+                gc = np.zeros_like(cols2)
+                st["gc"] = gc
+            else:
+                gc.fill(0.0)
+            gc[rows, st["arg"]] = g.reshape(-1)
+            grad_images = F.col2im(gc, (nc, 1, h, w), kernel, stride, 0)
+            acc(sx, grad_images.reshape(stack, n, c, h, w), fresh=True)
+
+        self._register_bwd(rec, bwd, x_t.requires_grad)
+        return fwd
+
+    def _avg_pool2d(self, rec: _OpRecord):
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        stack = self.stack
+        meta = rec.meta
+        kernel, stride = meta["kernel"], meta["stride"]
+        n, c, h, w = meta["image_shape"]
+        _, _, oh, ow = meta["out_shape"]
+        nc = stack * n * c
+        window = kernel * kernel
+        x_t = rec.parents[0]
+        sx = self.slot(x_t)
+        o = self.slot(rec.out)
+        st: dict = {}
+
+        def fwd():
+            as_batch = arena[sx].reshape(nc, 1, h, w)
+            strides = as_batch.strides
+            windows = as_strided(
+                as_batch,
+                shape=(nc, 1, oh, ow, kernel, kernel),
+                strides=(
+                    strides[0],
+                    strides[1],
+                    strides[2] * stride,
+                    strides[3] * stride,
+                    strides[2],
+                    strides[3],
+                ),
+                writeable=False,
+            )
+            cols6 = st.get("cols6")
+            if cols6 is None:
+                cols6 = np.empty(
+                    (nc, oh, ow, 1, kernel, kernel), dtype=as_batch.dtype
+                )
+                st["cols6"] = cols6
+                st["cols2"] = cols6.reshape(nc * oh * ow, window)
+            np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
+            cols2 = st["cols2"]
+            mean = st.get("mean")
+            if mean is None:
+                mean = cols2.mean(axis=1)
+                st["mean"] = mean
+            else:
+                cols2.mean(axis=1, out=mean)
+            arena[o] = mean.reshape(stack, n, c, oh, ow)
+
+        def bwd():
+            g = gbufs[o]
+            grad_cols = np.repeat(g.reshape(-1, 1), window, axis=1) / window
+            grad_images = F.col2im(grad_cols, (nc, 1, h, w), kernel, stride, 0)
+            acc(sx, grad_images.reshape(stack, n, c, h, w), fresh=True)
+
+        self._register_bwd(rec, bwd, x_t.requires_grad)
+        return fwd
+
+    def _cross_entropy(self, rec: _OpRecord):
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        stack = self.stack
+        reduction = rec.meta["reduction"]
+        targets = rec.meta["targets"]
+        if self.labels is None or targets is not self.labels:
+            raise CaptureError("cross_entropy targets are not the step labels")
+        logits_t = rec.parents[0]
+        n = logits_t.data.shape[0]
+        sl = self.slot(logits_t)
+        lt = self.labels_slot
+        o = self.slot(rec.out)
+        kgrid = np.arange(stack)[:, None]
+        rows = np.arange(n)[None, :]
+        st: dict = {}
+        gl_cell = _Cell()
+
+        def fwd():
+            logits = arena[sl]
+            tgt = arena[lt]
+            if "max" not in st:
+                st["max"] = logits.max(axis=2, keepdims=True)
+                st["shifted"] = logits - st["max"]
+                st["exp"] = np.exp(st["shifted"])
+                st["sumexp"] = st["exp"].sum(axis=2, keepdims=True)
+                st["ln"] = np.log(st["sumexp"][:, :, 0])
+                st["losses"] = st["ln"] - st["shifted"][kgrid, rows, tgt]
+            else:
+                logits.max(axis=2, keepdims=True, out=st["max"])
+                np.subtract(logits, st["max"], out=st["shifted"])
+                np.exp(st["shifted"], out=st["exp"])
+                st["exp"].sum(axis=2, keepdims=True, out=st["sumexp"])
+                np.log(st["sumexp"][:, :, 0], out=st["ln"])
+                np.subtract(
+                    st["ln"], st["shifted"][kgrid, rows, tgt], out=st["losses"]
+                )
+            losses = st["losses"]
+            if reduction == "none":
+                arena[o] = losses
+                return
+            red = st.get("red")
+            if red is None:
+                red = (
+                    losses.sum(axis=1)
+                    if reduction == "sum"
+                    else losses.mean(axis=1)
+                )
+                st["red"] = red
+            elif reduction == "sum":
+                losses.sum(axis=1, out=red)
+            else:
+                losses.mean(axis=1, out=red)
+            arena[o] = red
+
+        def bwd():
+            g = gbufs[o]
+            tgt = arena[lt]
+            if reduction == "none":
+                scale = np.asarray(g).reshape(stack, n, 1)
+            elif reduction == "mean":
+                scale = (np.asarray(g) / n).reshape(stack, 1, 1)
+            else:
+                scale = np.asarray(g).reshape(stack, 1, 1)
+            softmax = np.divide(st["exp"], st["sumexp"], out=st["exp"])
+            gl = _binout(gl_cell, np.multiply, softmax, scale)
+            gl[kgrid, rows, tgt] -= scale[:, :, 0]
+            acc(sl, gl, fresh=True)
+
+        self._register_bwd(rec, bwd, logits_t.requires_grad)
+        return fwd
+
+    # -- backward kernels -----------------------------------------------
+    def _backward_op(self, rec: _OpRecord):
+        if id(rec) in self._composite_bwd:
+            return self._composite_bwd[id(rec)]
+        kind = rec.kind
+        arena, acc, gbufs = self.arena, self.acc, self.gbufs
+        stack = self.stack
+        o = self.slot(rec.out)
+        srcs = [self.slot(p) for p in rec.parents]
+        reqs = [p.requires_grad for p in rec.parents]
+        out_ndim = rec.out.data.ndim
+
+        if kind == "mul":
+            a, b = srcs
+            ra, rb = reqs
+            read_a = self._reader(rec.parents[0], out_ndim)
+            read_b = self._reader(rec.parents[1], out_ndim)
+            cell_a, cell_b = _Cell(), _Cell()
+
+            def run():
+                g = gbufs[o]
+                if ra:
+                    acc(a, _binout(cell_a, np.multiply, g, read_b()), fresh=True)
+                if rb:
+                    acc(b, _binout(cell_b, np.multiply, g, read_a()), fresh=True)
+
+            return run
+
+        if kind == "div":
+            a, b = srcs
+            ra, rb = reqs
+            read_a = self._reader(rec.parents[0], out_ndim)
+            read_b = self._reader(rec.parents[1], out_ndim)
+            cell = _Cell()
+
+            def run():
+                g = gbufs[o]
+                if ra:
+                    acc(a, _binout(cell, np.divide, g, read_b()), fresh=True)
+                if rb:
+                    acc(b, -g * read_a() / (read_b() ** 2), fresh=True)
+
+            return run
+
+        if kind == "sum":
+            axis = rec.meta["axis"]
+            keepdims = rec.meta["keepdims"]
+            in_base = rec.parents[0].data.shape
+            in_shape = (stack,) + in_base
+            (a,) = srcs
+            if axis is None:
+                gview = (stack,) + (1,) * len(in_base)
+
+                def run():
+                    g = gbufs[o]
+                    acc(a, np.broadcast_to(g.reshape(gview), in_shape))
+
+                return run
+            saxis = (
+                tuple(ax + 1 if ax >= 0 else ax for ax in axis)
+                if isinstance(axis, tuple)
+                else (axis + 1 if axis >= 0 else axis)
+            )
+
+            def run():
+                g = gbufs[o]
+                if not keepdims:
+                    g = np.expand_dims(g, axis=saxis)
+                acc(a, np.broadcast_to(g, in_shape))
+
+            return run
+
+        if kind == "reshape":
+            in_shape = (stack,) + rec.parents[0].data.shape
+            (a,) = srcs
+
+            def run():
+                acc(a, gbufs[o].reshape(in_shape))
+
+            return run
+
+        if kind == "transpose":
+            in_ndim = rec.parents[0].data.ndim
+            axes = tuple(ax % in_ndim for ax in rec.meta["axes"])
+            inverse = (0,) + tuple(int(ax) + 1 for ax in np.argsort(axes))
+            (a,) = srcs
+
+            def run():
+                acc(a, gbufs[o].transpose(inverse))
+
+            return run
+
+        if kind == "matmul":
+            a, b = srcs
+            ra, rb = reqs
+            read_a = self._reader(rec.parents[0], out_ndim)
+            read_b = self._reader(rec.parents[1], out_ndim)
+            cell_a, cell_b = _Cell(), _Cell()
+
+            def run():
+                g = gbufs[o]
+                if ra:
+                    acc(
+                        a,
+                        _binout(cell_a, np.matmul, g, _swap_last(read_b())),
+                        fresh=True,
+                    )
+                if rb:
+                    acc(
+                        b,
+                        _binout(cell_b, np.matmul, _swap_last(read_a()), g),
+                        fresh=True,
+                    )
+
+            return run
+
+        # add/neg/sub and the unary chain rules are rank-preserving, so
+        # the serial kernels (with this class's stacked ``acc``) apply.
+        return super()._backward_op(rec)
+
+
+def compile_stacked_step(model, stack: int, features, labels) -> StackedStep:
+    """Compile a K-client batched SGD training step for ``model``.
+
+    ``features``/``labels`` are shape/dtype templates for *one* client's
+    full-size batch; values are ignored.  The trace runs on synthetic
+    zeros (consuming no randomness) and the model state is restored
+    afterwards, so calling this is observably side-effect free.  Raises
+    :class:`CaptureError` when the model records ops the stacked
+    compiler cannot batch (e.g. batch norm, dropout).
+    """
+    snapshot = model.state_dict()
+    model.train()
+    synth_x = np.zeros_like(np.asarray(features))
+    synth_y = np.zeros_like(np.asarray(labels))
+    tape = Tape()
+    x = Tensor(synth_x)
+    previous = tensor_mod._set_tape(tape)
+    try:
+        logits = model(x)
+        loss = F.cross_entropy(logits, synth_y)
+    finally:
+        tensor_mod._set_tape(previous)
+    try:
+        if tape.failed is not None:
+            raise CaptureError(tape.failed)
+        compiler = _StackedCompiler(
+            tape, x, loss, synth_y, stack, model.parameters()
+        )
+        return compiler.compile_stacked()
+    finally:
+        # The trace may have advanced buffer state (batch-norm running
+        # stats) before failing; roll everything back.
+        model.load_state_dict(snapshot)
+
+
+class StackedEngine:
+    """Per-(K, batch-shape) stacked programs for one model.
+
+    Mirrors :class:`_Engine`'s failure memoization: a (stack, shapes)
+    key whose compile was rejected raises the same :class:`CaptureError`
+    immediately on later requests, so executors can probe cheaply.
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self.programs: dict = {}
+        self.failures: dict = {}
+
+    def program(self, stack: int, features, labels) -> StackedStep:
+        key = (
+            stack,
+            features.shape,
+            str(features.dtype),
+            labels.shape,
+            str(labels.dtype),
+        )
+        program = self.programs.get(key)
+        if program is not None:
+            return program
+        reason = self.failures.get(key)
+        if reason is not None:
+            raise CaptureError(reason)
+        try:
+            program = compile_stacked_step(self.model, stack, features, labels)
+        except CaptureError as error:
+            self.failures[key] = str(error)
+            raise
+        self.programs[key] = program
+        return program
+
+
+# ----------------------------------------------------------------------
 # Engines
 # ----------------------------------------------------------------------
 class _Engine:
@@ -1249,4 +2282,14 @@ def inference_engine(model) -> InferenceEngine:
     if engine is None:
         engine = InferenceEngine(model)
         cache["eval"] = engine
+    return engine
+
+
+def stacked_engine(model) -> StackedEngine:
+    """The model's cached :class:`StackedEngine` (created on first use)."""
+    cache = _engine_cache(model)
+    engine = cache.get("stacked")
+    if engine is None:
+        engine = StackedEngine(model)
+        cache["stacked"] = engine
     return engine

@@ -165,14 +165,136 @@ class SGD(Optimizer):
             if correction is not None and self._correction_mode == "step":
                 grad = grad + correction[index]
             # One temporary instead of two; (-lr) * g + w rounds exactly
-            # like w - lr * g, so the update stays bit-identical.
-            update = np.multiply(grad, neg_lr)
+            # like w - lr * g, so the update stays bit-identical.  The
+            # explicit ``out=`` keeps the parameter's memory layout: linear
+            # weight grads are transposed views (F-contiguous), and letting
+            # ``np.multiply`` inherit that layout flips the weights to
+            # F-order after one step, which routes later GEMMs down a
+            # different BLAS path and breaks bitwise parity with replayed
+            # executions whose arenas are C-contiguous.
+            update = np.multiply(grad, neg_lr, out=np.empty_like(param.data))
             update += param.data
             param.data = update
 
     def reset_state(self) -> None:
         """Drop momentum buffers (used when a party starts a new round)."""
         self._velocity = [None] * len(self.params)
+
+
+class StackedSGD:
+    """SGD over ``(K, ...)`` parameter stacks for stacked-client replay.
+
+    The elementwise mirror of :meth:`SGD.step`: every expression is the
+    same NumPy ufunc in the same order, just with a leading client axis,
+    so each slice updates bit-identically to a serial :class:`SGD` run.
+    The final write is an in-place ``np.copyto`` rather than a rebind —
+    the stacks are arena buffers a compiled :class:`~repro.grad.capture.
+    StackedStep` holds views into, and rebinding would orphan them.
+
+    ``stacks`` aligns with ``model.parameters()``; None entries (and None
+    gradients) are skipped exactly like parameters without gradients.
+    Anchors and corrections are per-client, i.e. ``(K,) + shape`` arrays.
+    """
+
+    def __init__(
+        self,
+        stacks: Sequence[np.ndarray | None],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        proximal_mu: float = 0.0,
+    ):
+        self.stacks = list(stacks)
+        if not self.stacks:
+            raise ValueError("optimizer got an empty parameter-stack list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if proximal_mu < 0:
+            raise ValueError(f"proximal_mu must be non-negative, got {proximal_mu}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.proximal_mu = proximal_mu
+        self._velocity: list[np.ndarray | None] = [None] * len(self.stacks)
+        self._anchor: list[np.ndarray | None] | None = None
+        self._correction: list[np.ndarray | None] | None = None
+        self._correction_mode = "step"
+
+    def _check_stacked(self, arrays, label: str) -> list[np.ndarray | None]:
+        arrays = [None if a is None else np.asarray(a) for a in arrays]
+        if len(arrays) != len(self.stacks):
+            raise ValueError(
+                f"{label} has {len(arrays)} entries for {len(self.stacks)} stacks"
+            )
+        for array, stack in zip(arrays, self.stacks):
+            if array is None or stack is None:
+                continue
+            if array.shape != stack.shape:
+                raise ValueError(
+                    f"{label} shape {array.shape} does not match "
+                    f"stack shape {stack.shape}"
+                )
+        return arrays
+
+    def set_anchor(self, anchor: Sequence[np.ndarray | None] | None) -> None:
+        """Fix the stacked proximal anchor (each client's round-start weights)."""
+        if anchor is None:
+            self._anchor = None
+            return
+        self._anchor = self._check_stacked(anchor, "anchor")
+
+    def set_correction(
+        self, correction: Sequence[np.ndarray | None] | None, mode: str = "step"
+    ) -> None:
+        """Fix the stacked additive correction (see :meth:`SGD.set_correction`)."""
+        if mode not in ("step", "grad"):
+            raise ValueError(f"mode must be 'step' or 'grad', got {mode!r}")
+        if correction is None:
+            self._correction = None
+            return
+        self._correction = self._check_stacked(correction, "correction")
+        self._correction_mode = mode
+
+    def step(self, grads: Sequence[np.ndarray | None]) -> None:
+        """Apply one update from ``grads`` (aligned with the stacks)."""
+        if self.proximal_mu > 0 and self._anchor is None:
+            raise RuntimeError("proximal_mu > 0 but no anchor set; call set_anchor()")
+        momentum = self.momentum
+        weight_decay = self.weight_decay
+        proximal_mu = self.proximal_mu
+        correction = self._correction
+        velocities = self._velocity
+        neg_lr = -self.lr
+        for index, stack in enumerate(self.stacks):
+            grad = grads[index]
+            if stack is None or grad is None:
+                continue
+            if weight_decay:
+                grad = grad + weight_decay * stack
+            if proximal_mu > 0:
+                grad = grad + proximal_mu * (stack - self._anchor[index])
+            if correction is not None and self._correction_mode == "grad":
+                grad = grad + correction[index]
+            if momentum:
+                velocity = velocities[index]
+                if velocity is None:
+                    velocity = np.array(grad, copy=True)
+                    velocities[index] = velocity
+                else:
+                    np.multiply(velocity, momentum, out=velocity)
+                    velocity += grad
+                grad = velocity
+            if correction is not None and self._correction_mode == "step":
+                grad = grad + correction[index]
+            update = np.multiply(grad, neg_lr)
+            update += stack
+            np.copyto(stack, update)
+
+    def reset_state(self) -> None:
+        """Drop momentum buffers (each group starts a fresh optimizer)."""
+        self._velocity = [None] * len(self.stacks)
 
 
 class Adam(Optimizer):

@@ -137,6 +137,11 @@ class ExecSpec:
 
     executor: str = "auto"
     num_workers: int = 0
+    #: clients per stack for ``executor="stacked"``
+    stack_size: int = 16
+    #: max drift the stacked executor's serial-vs-stacked check accepts
+    #: (0.0 = bitwise, the contract on hosts with slice-exact kernels)
+    stacked_tolerance: float = 0.0
     checkpoint_every: int = 0
     checkpoint_path: str | None = None
     #: capture & replay training/inference steps (bitwise-identical to
@@ -189,6 +194,8 @@ OVERRIDE_PATHS: dict[str, tuple[str | None, str]] = {
     "deadline": ("faults", "deadline"),
     "executor": ("exec", "executor"),
     "num_workers": ("exec", "num_workers"),
+    "stack_size": ("exec", "stack_size"),
+    "stacked_tolerance": ("exec", "stacked_tolerance"),
     "checkpoint_every": ("exec", "checkpoint_every"),
     "checkpoint_path": ("exec", "checkpoint_path"),
     "compile": ("exec", "compile"),
@@ -256,6 +263,8 @@ class RunSpec:
         bn_policy: str = "average",
         executor: str = "auto",
         num_workers: int = 0,
+        stack_size: int = 16,
+        stacked_tolerance: float = 0.0,
         codec: str = "identity",
         codec_bits: int = 8,
         codec_k: float = 0.1,
@@ -342,6 +351,8 @@ class RunSpec:
             exec=ExecSpec(
                 executor=executor,
                 num_workers=num_workers,
+                stack_size=stack_size,
+                stacked_tolerance=stacked_tolerance,
                 checkpoint_every=checkpoint_every,
                 checkpoint_path=checkpoint_path,
                 compile=compile,

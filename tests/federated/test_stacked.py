@@ -1,0 +1,336 @@
+"""Stacked executor: serial-vs-stacked equivalence, fallbacks, drift check.
+
+The stacked executor's contract is bitwise identity to the serial path
+(``tolerance == 0.0``) on hosts whose batched kernels run each client
+slice through the same code path as the 2-D ops — which
+``stacked_matmul_is_exact()`` probes.  Where the probe fails, the matrix
+runs in the documented tolerance mode instead, so the equivalence suite
+is meaningful on every host.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.federated import (
+    FederatedConfig,
+    FederatedServer,
+    StackedDriftError,
+    StackedExecutor,
+    make_algorithm,
+    make_clients,
+    make_executor,
+)
+from repro.federated import executor as executor_mod
+from repro.grad import nn
+from repro.grad.capture import stacked_matmul_is_exact
+from repro.grad.optim import StackedSGD
+from repro.models.cnn import PaperCNN
+from repro.partition import HomogeneousPartitioner
+
+pytestmark = pytest.mark.stacked
+
+ALGORITHMS = ("fedavg", "fedprox", "scaffold", "fednova")
+
+#: bitwise when the host's batched kernels are slice-exact, else the
+#: documented tolerance mode (loose bound; per-step drift is ~1e-7)
+EXACT = stacked_matmul_is_exact()
+TOLERANCE = 0.0 if EXACT else 1e-4
+
+
+def image_split(seed=5, n=256, side=16, classes=4):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1, side, side)).astype(np.float32)
+    y = rng.integers(0, classes, size=n).astype(np.int64)
+    return ArrayDataset(x, y)
+
+
+def tabular_split(seed=5, n=384, dim=12, classes=4):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((dim, classes)).astype(np.float32)
+    x = rng.standard_normal((n, dim)).astype(np.float32)
+    return ArrayDataset(x, (x @ w).argmax(axis=1).astype(np.int64))
+
+
+def make_server(
+    algorithm="fedavg",
+    model_kind="mlp",
+    executor="serial",
+    num_parties=6,
+    seed=11,
+    **config_kwargs,
+):
+    """A server whose party sizes divide the batch size (stackable)."""
+    if model_kind == "mlp":
+        train = tabular_split(n=64 * num_parties)
+        rng = np.random.default_rng(1)
+        model = nn.Sequential(
+            nn.Linear(12, 16, rng=rng), nn.ReLU(), nn.Linear(16, 4, rng=rng)
+        )
+    else:
+        train = image_split(n=32 * num_parties)
+        model = PaperCNN(num_classes=4, rng=np.random.default_rng(1))
+    part = HomogeneousPartitioner().partition(
+        train, num_parties, np.random.default_rng(seed)
+    )
+    defaults = dict(
+        num_rounds=2,
+        local_epochs=2,
+        batch_size=16,
+        lr=0.05,
+        momentum=0.9,
+        seed=seed,
+        executor=executor,
+        stack_size=4,
+        stacked_tolerance=TOLERANCE,
+    )
+    defaults.update(config_kwargs)
+    config = FederatedConfig(**defaults)
+    clients = make_clients(part, train, seed=config.seed)
+    return FederatedServer(
+        model, make_algorithm(algorithm), clients, config, test_dataset=train
+    )
+
+
+def assert_states_match(serial, stacked):
+    for key in serial.global_state:
+        left = serial.global_state[key]
+        right = stacked.global_state[key]
+        if EXACT:
+            np.testing.assert_array_equal(left, right, err_msg=key)
+        else:
+            np.testing.assert_allclose(
+                left, right, atol=TOLERANCE, rtol=0, err_msg=key
+            )
+    for left, right in zip(serial.clients, stacked.clients):
+        assert left.rng.bit_generator.state == right.rng.bit_generator.state
+
+
+def run_pair(**kwargs):
+    serial = make_server(executor="serial", **kwargs)
+    with serial:
+        serial.fit()
+    stacked = make_server(executor="stacked", **kwargs)
+    with stacked:
+        stacked.fit()
+    return serial, stacked
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_mlp(self, algorithm):
+        serial, stacked = run_pair(algorithm=algorithm, model_kind="mlp")
+        assert_states_match(serial, stacked)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_cnn(self, algorithm):
+        serial, stacked = run_pair(
+            algorithm=algorithm, model_kind="cnn", num_parties=4, num_rounds=1
+        )
+        assert_states_match(serial, stacked)
+
+    def test_stacked_path_actually_runs(self, monkeypatch):
+        """Guard against the matrix silently passing via serial fallback."""
+        ran = []
+        original = StackedExecutor._train_stack
+
+        def spy(self, records):
+            ran.append(len(records))
+            return original(self, records)
+
+        monkeypatch.setattr(StackedExecutor, "_train_stack", spy)
+        server = make_server(executor="stacked")
+        with server:
+            server.fit(1)
+        assert ran, "no group ever reached the batched training phase"
+        assert max(ran) >= 2
+
+
+class TestFallbacks:
+    def test_ragged_parties_fall_back_to_serial(self):
+        """Sample counts not divisible by the batch size stay serial."""
+        train = tabular_split(n=6 * 40)  # 40 % 16 != 0 for every party
+        part = HomogeneousPartitioner().partition(
+            train, 6, np.random.default_rng(3)
+        )
+
+        def build(executor):
+            rng = np.random.default_rng(1)
+            model = nn.Sequential(
+                nn.Linear(12, 16, rng=rng), nn.ReLU(),
+                nn.Linear(16, 4, rng=rng),
+            )
+            config = FederatedConfig(
+                num_rounds=2, local_epochs=1, batch_size=16, lr=0.05,
+                seed=7, executor=executor, stack_size=4,
+            )
+            clients = make_clients(part, train, seed=7)
+            return FederatedServer(model, make_algorithm("fedavg"), clients, config)
+
+        serial = build("serial")
+        with serial:
+            serial.fit()
+        stacked = build("stacked")
+        with stacked:
+            stacked.fit()
+        for key in serial.global_state:
+            np.testing.assert_array_equal(
+                serial.global_state[key], stacked.global_state[key], err_msg=key
+            )
+
+    def test_plan_groups_and_leftovers(self):
+        server = make_server(executor="stacked", num_parties=6)
+        executor = server.executor
+        groups, serial = executor._plan(list(range(6)), None)
+        assert sorted(sum(groups, serial)) == list(range(6))
+        assert all(2 <= len(group) <= 4 for group in groups)
+
+    def test_unsupported_model_falls_back_bitwise(self):
+        """A model the stacked compiler rejects (batch norm) still runs."""
+
+        def build(executor):
+            train = tabular_split(n=6 * 32)
+            part = HomogeneousPartitioner().partition(
+                train, 6, np.random.default_rng(3)
+            )
+            rng = np.random.default_rng(1)
+            model = nn.Sequential(
+                nn.Linear(12, 16, rng=rng), nn.BatchNorm1d(16), nn.ReLU(),
+                nn.Linear(16, 4, rng=rng),
+            )
+            config = FederatedConfig(
+                num_rounds=2, local_epochs=1, batch_size=16, lr=0.05,
+                seed=7, executor=executor, stack_size=4,
+            )
+            clients = make_clients(part, train, seed=7)
+            return FederatedServer(model, make_algorithm("fedavg"), clients, config)
+
+        serial = build("serial")
+        with serial:
+            serial.fit()
+        stacked = build("stacked")
+        with stacked:
+            stacked.fit()
+        for key in serial.global_state:
+            np.testing.assert_array_equal(
+                serial.global_state[key], stacked.global_state[key], err_msg=key
+            )
+
+
+class TestCodecsAndFaults:
+    def test_qsgd_codec_equivalence(self):
+        serial, stacked = run_pair(
+            codec="qsgd", codec_bits=6, num_rounds=3, local_epochs=1
+        )
+        assert_states_match(serial, stacked)
+        assert serial.history.records[-1].bytes_up == (
+            stacked.history.records[-1].bytes_up
+        )
+
+    def test_fault_injection_equivalence(self):
+        serial, stacked = run_pair(
+            num_rounds=3,
+            local_epochs=1,
+            dropout_prob=0.25,
+            straggler_prob=0.3,
+            straggler_factor=2.0,
+            deadline=1.5,
+        )
+        assert_states_match(serial, stacked)
+        left = [sorted(r.participants) for r in serial.history.records]
+        right = [sorted(r.participants) for r in stacked.history.records]
+        assert left == right
+
+    def test_crash_faults_stay_serial(self):
+        serial, stacked = run_pair(
+            num_rounds=3, local_epochs=1, crash_prob=0.4, crash_after_steps=2
+        )
+        assert_states_match(serial, stacked)
+
+
+class TestCheckpointResume:
+    def test_resume_is_bitwise(self, tmp_path):
+        path = str(tmp_path / "stacked.ckpt")
+        straight = make_server(executor="stacked", num_rounds=4)
+        with straight:
+            straight.fit(4)
+        first = make_server(executor="stacked", num_rounds=4)
+        with first:
+            first.fit(2)
+            first.save_checkpoint(path)
+        resumed = make_server(executor="stacked", num_rounds=4)
+        with resumed:
+            resumed.resume(path)
+            resumed.fit(2)
+        for key in straight.global_state:
+            np.testing.assert_array_equal(
+                straight.global_state[key], resumed.global_state[key], err_msg=key
+            )
+        assert [r.to_dict() for r in straight.history.records] == [
+            r.to_dict() for r in resumed.history.records
+        ]
+
+
+class TestDriftCheck:
+    def _perturbing(self, monkeypatch, scale):
+        original = StackedSGD.step
+
+        def perturbed(self, grads):
+            original(self, grads)
+            for stack in self.stacks:
+                if stack is not None:
+                    stack += np.float32(scale)
+
+        monkeypatch.setattr(executor_mod.StackedSGD, "step", perturbed)
+
+    def test_divergence_raises(self, monkeypatch):
+        self._perturbing(monkeypatch, 1e-3)
+        server = make_server(executor="stacked", stacked_tolerance=0.0)
+        with server:
+            with pytest.raises(StackedDriftError):
+                server.fit(1)
+
+    def test_tolerance_bounds_drift(self, monkeypatch):
+        self._perturbing(monkeypatch, 1e-3)
+        # Well above the injected drift: accepted ...
+        server = make_server(executor="stacked", stacked_tolerance=1.0)
+        with server:
+            server.fit(1)
+        # ... but a tolerance below it still trips the check.
+        self._perturbing(monkeypatch, 1e-3)
+        server = make_server(executor="stacked", stacked_tolerance=1e-6)
+        with server:
+            with pytest.raises(StackedDriftError):
+                server.fit(1)
+
+
+class TestConstruction:
+    def test_make_executor_stacked(self):
+        config = FederatedConfig(
+            executor="stacked", stack_size=8, stacked_tolerance=0.5
+        )
+        executor = make_executor(config)
+        assert isinstance(executor, StackedExecutor)
+        assert executor.stack_size == 8
+        assert executor.tolerance == 0.5
+
+    def test_make_executor_unknown_name(self):
+        config = FederatedConfig()
+        config.executor = "bogus"
+        with pytest.raises(ValueError, match="unknown executor 'bogus'"):
+            make_executor(config)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="stack_size"):
+            StackedExecutor(stack_size=1)
+        with pytest.raises(ValueError, match="tolerance"):
+            StackedExecutor(tolerance=-0.1)
+
+    def test_config_validates_stacked_fields(self):
+        with pytest.raises(ValueError, match="stack_size"):
+            FederatedConfig(stack_size=1)
+        with pytest.raises(ValueError, match="stacked_tolerance"):
+            FederatedConfig(stacked_tolerance=-1.0)
+
+    def test_repr(self):
+        assert "stack_size=4" in repr(StackedExecutor(stack_size=4))

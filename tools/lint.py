@@ -186,15 +186,88 @@ def check_facade_frozen(path: Path = FACADE_FILE) -> list[str]:
     return [f"{path}: {FACADE_NAME} not found (facade-freeze check)"]
 
 
+#: the executor registry: every concrete ClientExecutor must be buildable
+#: through make_executor, and must implement execute_round itself.
+EXECUTOR_FILE = Path("src/repro/federated/executor.py")
+EXECUTOR_BASE = "ClientExecutor"
+EXECUTOR_FACTORY = "make_executor"
+
+
+def check_executor_registry(path: Path = EXECUTOR_FILE) -> list[str]:
+    """Keep executor subclasses complete and reachable.
+
+    Every class deriving (directly or transitively) from
+    ``ClientExecutor`` must define ``execute_round`` in its own body —
+    inheriting another backend's round loop silently changes semantics —
+    and must be mentioned in ``make_executor``, so a new backend cannot
+    be merged without a config name that builds it.
+    """
+    if not path.is_file():
+        return [f"{path}: missing (executor-registry check expects it here)"]
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError:
+        return []  # the syntax error is reported by the main lint pass
+    classes = {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+
+    def derives_from_base(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                if base.id == EXECUTOR_BASE:
+                    return True
+                parent = classes.get(base.id)
+                if parent is not None and derives_from_base(parent):
+                    return True
+        return False
+
+    factory = next(
+        (
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef) and node.name == EXECUTOR_FACTORY
+        ),
+        None,
+    )
+    if factory is None:
+        return [f"{path}: {EXECUTOR_FACTORY} not found (executor-registry check)"]
+    factory_names = {
+        node.id for node in ast.walk(factory) if isinstance(node, ast.Name)
+    }
+    problems = []
+    for name, node in sorted(classes.items()):
+        if not derives_from_base(node):
+            continue
+        defines_round = any(
+            isinstance(item, ast.FunctionDef) and item.name == "execute_round"
+            for item in node.body
+        )
+        if not defines_round:
+            problems.append(
+                f"{path}:{node.lineno}: {name} derives from {EXECUTOR_BASE} "
+                "but does not define execute_round in its own body"
+            )
+        if name not in factory_names:
+            problems.append(
+                f"{path}:{node.lineno}: {name} is not constructed in "
+                f"{EXECUTOR_FACTORY}; every executor backend needs a config "
+                "name that builds it"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     roots = (argv if argv is not None else sys.argv[1:]) or ["src", "tests"]
     code = _try_external(roots)
     if code is None:
         code = _fallback(roots)
-    facade_problems = check_facade_frozen()
-    for problem in facade_problems:
+    structural_problems = check_facade_frozen() + check_executor_registry()
+    for problem in structural_problems:
         print(problem)
-    if facade_problems:
+    if structural_problems:
         code = code or 1
     if code == 0:
         print("lint: clean")
