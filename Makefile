@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-stacked lint bench bench-smoke
+.PHONY: test test-fast test-stacked test-async lint bench bench-smoke
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,10 @@ test-fast:
 # Just the stacked-client replay executor and its compiler.
 test-stacked:
 	$(PYTHON) -m pytest -x -q -m stacked
+
+# Just the virtual-clock async engine and lazy-population layer.
+test-async:
+	$(PYTHON) -m pytest -x -q -m async
 
 # Uses ruff or pyflakes when installed; otherwise a stdlib AST fallback.
 lint:

@@ -191,6 +191,39 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         "--compile", action=argparse.BooleanOptionalAction, default=False,
         help="capture & replay training steps (bitwise-identical, faster)",
     )
+    parser.add_argument(
+        "--population", type=int, default=None, metavar="N",
+        help="virtual federation of N lazily-derived parties (flat memory; "
+             "--partition is then ignored; --dataset/--alg default to "
+             "mnist/fedavg)",
+    )
+    parser.add_argument(
+        "--sample-per-round", type=int, default=None, metavar="K",
+        help="cohort size: parties concurrently in flight per round "
+             "(default: --sample fraction of the population)",
+    )
+    parser.add_argument(
+        "--samples-per-client", type=int, default=64,
+        help="local dataset size per virtual party",
+    )
+    parser.add_argument(
+        "--population-skew-beta", type=float, default=None,
+        help="Dirichlet(beta) label skew for virtual parties (default iid)",
+    )
+    parser.add_argument(
+        "--aggregation", default="sync", choices=("sync", "async"),
+        help="sync barrier rounds, or FedBuff-style buffered async over "
+             "the virtual clock",
+    )
+    parser.add_argument(
+        "--buffer-size", type=int, default=None, metavar="M",
+        help="async buffer: aggregate after M arrivals (default: the "
+             "cohort, i.e. an exact synchronous barrier)",
+    )
+    parser.add_argument(
+        "--staleness-exponent", type=float, default=0.0,
+        help="discount stale async updates by (1+staleness)^-a",
+    )
     parser.add_argument("--preset", default="bench", choices=sorted(PRESETS))
     parser.add_argument("--init-seed", type=int, default=0)
     parser.add_argument(
@@ -227,6 +260,13 @@ def _build_kwargs(args) -> dict:
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_path,
         compile=args.compile,
+        population=args.population,
+        sample_per_round=args.sample_per_round,
+        samples_per_client=args.samples_per_client,
+        population_skew_beta=args.population_skew_beta,
+        aggregation=args.aggregation,
+        buffer_size=args.buffer_size,
+        staleness_exponent=args.staleness_exponent,
         algorithm_kwargs=algorithm_kwargs,
     )
 
@@ -236,6 +276,13 @@ def _spec_from_args(args) -> RunSpec:
     if args.spec is not None:
         with open(args.spec) as handle:
             return RunSpec.from_dict(json.load(handle)).validate()
+    if args.population is not None:
+        # A virtual population derives party data itself, so the bare
+        # `repro run --population N --aggregation async` works: default
+        # the cell key instead of demanding flags the run ignores.
+        args.dataset = args.dataset or "mnist"
+        args.partition = args.partition or "iid"
+        args.alg = args.alg or "fedavg"
     missing = [
         flag
         for flag, value in (

@@ -503,6 +503,112 @@ def bench_round_bytes(seed: int = 0) -> list[dict]:
     return rows
 
 
+#: population sizes for the flat-memory scaling column (fixed cohort)
+BENCH_POPULATION_SIZES = (1_000, 100_000, 1_000_000)
+
+#: the child process measuring one population point's peak RSS; its own
+#: ru_maxrss is the honest number — measuring in-process would fold every
+#: previously-run benchmark's allocations into the peak.
+_ASYNC_CHILD = """
+import json, resource, sys, time
+from repro.spec import RunSpec
+from repro.experiments.runner import run_spec
+from repro.experiments.scale import SMOKE
+
+size, cohort, rounds, seed = (int(a) for a in sys.argv[1:5])
+spec = RunSpec.build(
+    "mnist", "iid", "fedavg", preset=SMOKE, population=size,
+    sample_per_round=cohort, aggregation="async", num_rounds=rounds,
+    seed=seed,
+)
+start = time.perf_counter()
+outcome = run_spec(spec)
+wall = time.perf_counter() - start
+print(json.dumps({
+    "wall_seconds": wall,
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+    "final_accuracy": outcome.final_accuracy,
+}))
+"""
+
+
+def bench_async_engine(
+    seed: int = 0,
+    smoke: bool = False,
+    cohort: int = 32,
+    num_rounds: int = 2,
+    populations: tuple[int, ...] = BENCH_POPULATION_SIZES,
+) -> dict:
+    """Flat-memory scaling and the buffer-size trade-off of the async engine.
+
+    Two tables:
+
+    - ``scaling`` — wall time and peak RSS of a full async run at a fixed
+      cohort while the population grows 1k -> 100k -> 1M.  Each point runs
+      in a fresh subprocess so its ``ru_maxrss`` reflects that run alone;
+      the flat-memory claim is RSS staying put while the population grows
+      three orders of magnitude.
+    - ``buffer_sweep`` — wall time, virtual time, mean staleness and final
+      accuracy as the FedBuff buffer ``M`` shrinks from the cohort (exact
+      barrier) downward at a fixed population.
+    """
+    import subprocess
+    import sys
+
+    from repro.spec import RunSpec
+    from repro.experiments.runner import run_spec
+    from repro.experiments.scale import SMOKE
+
+    if smoke:
+        populations = tuple(p for p in populations if p <= 100_000)
+        cohort, num_rounds = 8, 1
+
+    scaling = []
+    for size in populations:
+        out = subprocess.run(
+            [sys.executable, "-c", _ASYNC_CHILD,
+             str(size), str(cohort), str(num_rounds), str(seed)],
+            capture_output=True, text=True, check=True,
+        )
+        point = json.loads(out.stdout.strip().splitlines()[-1])
+        scaling.append(
+            {
+                "population": size,
+                "cohort": cohort,
+                "num_rounds": num_rounds,
+                "wall_seconds": round(point["wall_seconds"], 3),
+                "peak_rss_mb": round(point["peak_rss_mb"], 1),
+            }
+        )
+
+    buffer_sweep = []
+    sweep_cohort = 8
+    buffers = (2, 8) if smoke else (2, 4, 8)
+    for buffer in buffers:
+        spec = RunSpec.build(
+            "mnist", "iid", "fedavg", preset=SMOKE, population=10_000,
+            sample_per_round=sweep_cohort, aggregation="async",
+            buffer_size=buffer, staleness_exponent=0.5,
+            num_rounds=2 if smoke else 4, seed=seed,
+        )
+        start = time.perf_counter()
+        outcome = run_spec(spec)
+        wall = time.perf_counter() - start
+        history = outcome.history
+        buffer_sweep.append(
+            {
+                "buffer_size": buffer,
+                "cohort": sweep_cohort,
+                "is_barrier": buffer == sweep_cohort,
+                "wall_seconds": round(wall, 3),
+                "virtual_time": round(float(history.virtual_times[-1]), 3),
+                "mean_staleness": round(history.mean_staleness(), 3),
+                "final_accuracy": round(history.final_accuracy, 4),
+            }
+        )
+    return {"scaling": scaling, "buffer_sweep": buffer_sweep}
+
+
 def _hardware_note(cpu_count: int, worker_counts: list[int]) -> str:
     if not worker_counts:
         return "No parallel worker counts benchmarked."
@@ -588,6 +694,7 @@ def run_benchmarks(
         "accuracy_under_dropout": bench_dropout(
             num_rounds=2 if smoke else 4, seed=seed
         ),
+        "async_engine": bench_async_engine(seed=seed, smoke=smoke),
     }
     serial = next(
         (r for r in report["federated_round"] if r["num_workers"] == 0), None

@@ -16,9 +16,12 @@ import numpy as np
 from repro.data import load_dataset
 from repro.data.dataset import DatasetInfo
 from repro.federated import (
+    AsyncFederation,
     FederatedConfig,
     FederatedServer,
     History,
+    MaterializedPopulation,
+    VirtualPopulation,
     make_algorithm,
     make_clients,
 )
@@ -43,7 +46,9 @@ class ExperimentOutcome:
     model: str
     seed: int
     history: History
-    partition_result: Partition
+    #: None on virtual-population runs (parties are derived lazily from
+    #: ``(seed, party)`` — there is no materialized partition)
+    partition_result: Partition | None
     info: DatasetInfo
     config: FederatedConfig
     #: the resolved spec this outcome was produced from (content address
@@ -106,6 +111,8 @@ def run_spec(spec: RunSpec, resume: str | None = None) -> ExperimentOutcome:
     identical, and so are two specs differing only in ``spec.exec``.
     """
     spec.validate()
+    if spec.population.size is not None or spec.population.aggregation == "async":
+        return _run_population_spec(spec, resume)
     partitioner = parse_strategy(spec.partition.strategy)
 
     dataset_kwargs = dict(spec.data.kwargs)
@@ -121,7 +128,34 @@ def run_spec(spec: RunSpec, resume: str | None = None) -> ExperimentOutcome:
     )
     clients = make_clients(partition_result, train, seed=spec.seed + 29, drop_empty=True)
 
-    config = FederatedConfig(
+    config = _config_from_spec(spec)
+    net = build_model(spec.model.name, info, seed=spec.seed + 53, **spec.model.kwargs)
+    algo = make_algorithm(spec.algorithm.name, **spec.algorithm.kwargs)
+    with FederatedServer(net, algo, clients, config, test_dataset=test) as server:
+        if resume is not None:
+            server.resume(resume)
+            remaining = max(0, config.num_rounds - len(server.history))
+            history = server.fit(remaining)
+        else:
+            history = server.fit()
+
+    return ExperimentOutcome(
+        dataset=info.name,
+        partition=partition_result.strategy,
+        algorithm=spec.algorithm.name,
+        model=spec.model.name,
+        seed=spec.seed,
+        history=history,
+        partition_result=partition_result,
+        info=info,
+        config=config,
+        spec=spec,
+    )
+
+
+def _config_from_spec(spec: RunSpec) -> FederatedConfig:
+    """Resolve a spec's train/comm/faults/exec/population sections into a config."""
+    return FederatedConfig(
         num_rounds=spec.train.num_rounds,
         local_epochs=spec.train.local_epochs,
         batch_size=spec.train.batch_size,
@@ -146,21 +180,69 @@ def run_spec(spec: RunSpec, resume: str | None = None) -> ExperimentOutcome:
         checkpoint_path=spec.exec.checkpoint_path,
         compile=spec.exec.compile,
         eval_every=spec.train.eval_every,
+        aggregation=spec.population.aggregation,
+        sample_per_round=spec.population.sample_per_round,
+        buffer_size=spec.population.buffer_size,
+        staleness_exponent=spec.population.staleness_exponent,
         seed=spec.seed + 41,
     )
+
+
+def _run_population_spec(spec: RunSpec, resume: str | None) -> ExperimentOutcome:
+    """Run a population/async spec through :class:`AsyncFederation`.
+
+    Seed derivations mirror the sync path exactly (dataset ``seed``,
+    clients ``seed + 29``, config ``seed + 41``, model ``seed + 53``) so
+    an async-barrier run over materialized clients reproduces the sync
+    server bit for bit.
+    """
+    if resume is not None:
+        raise ValueError(
+            "resume is not supported for async/population runs: the event "
+            "loop replays deterministically from the spec seed instead"
+        )
+    dataset_kwargs = dict(spec.data.kwargs)
+    if spec.data.n_train is not None:
+        dataset_kwargs["n_train"] = spec.data.n_train
+    if spec.data.n_test is not None:
+        dataset_kwargs["n_test"] = spec.data.n_test
+    train, test, info = load_dataset(spec.data.name, seed=spec.seed, **dataset_kwargs)
+
+    partition_result: Partition | None = None
+    if spec.population.size is not None:
+        population = VirtualPopulation(
+            train,
+            spec.population.size,
+            samples_per_client=spec.population.samples_per_client,
+            seed=spec.seed + 29,
+            skew_beta=spec.population.skew_beta,
+        )
+        partition_label = (
+            "virtual-iid"
+            if spec.population.skew_beta is None
+            else f"virtual-dir({spec.population.skew_beta})"
+        )
+    else:
+        partitioner = parse_strategy(spec.partition.strategy)
+        partition_rng = np.random.default_rng(spec.seed + 17)
+        partition_result = partitioner.partition(
+            train, spec.partition.num_parties, partition_rng
+        )
+        clients = make_clients(
+            partition_result, train, seed=spec.seed + 29, drop_empty=True
+        )
+        population = MaterializedPopulation(clients)
+        partition_label = partition_result.strategy
+
+    config = _config_from_spec(spec)
     net = build_model(spec.model.name, info, seed=spec.seed + 53, **spec.model.kwargs)
     algo = make_algorithm(spec.algorithm.name, **spec.algorithm.kwargs)
-    with FederatedServer(net, algo, clients, config, test_dataset=test) as server:
-        if resume is not None:
-            server.resume(resume)
-            remaining = max(0, config.num_rounds - len(server.history))
-            history = server.fit(remaining)
-        else:
-            history = server.fit()
+    with AsyncFederation(net, algo, population, config, test_dataset=test) as engine:
+        history = engine.fit()
 
     return ExperimentOutcome(
         dataset=info.name,
-        partition=partition_result.strategy,
+        partition=partition_label,
         algorithm=spec.algorithm.name,
         model=spec.model.name,
         seed=spec.seed,

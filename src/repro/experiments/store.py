@@ -36,7 +36,13 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
         "final_accuracy": outcome.final_accuracy,
         "best_accuracy": outcome.best_accuracy,
         "history": outcome.history.to_dict(),
-        "party_sizes": [int(s) for s in outcome.partition_result.sizes],
+        # Virtual-population runs derive parties lazily and have no
+        # materialized partition; record the absence explicitly.
+        "party_sizes": (
+            [int(s) for s in outcome.partition_result.sizes]
+            if outcome.partition_result is not None
+            else None
+        ),
         "config": {
             "num_rounds": outcome.config.num_rounds,
             "local_epochs": outcome.config.local_epochs,

@@ -103,3 +103,69 @@ def sweep(
             history = outcome.history
         result.curves[value] = np.asarray(history.accuracies)
     return result
+
+
+def async_tradeoff(
+    dataset: str,
+    partition: str,
+    algorithm: str = "fedavg",
+    buffer_sizes: Iterable[int] = (1, 2, 4),
+    sample_per_round: int = 8,
+    staleness_exponent: float = 0.5,
+    preset: ScalePreset = BENCH,
+    seed: int = 0,
+    store=None,
+    **fixed,
+) -> dict:
+    """The sync-vs-async study: one barrier baseline, then a buffer sweep.
+
+    Runs the cell synchronously (``aggregation="sync"``), then async with
+    each buffer size ``M`` at a fixed cohort — ``M == cohort`` is an exact
+    barrier, smaller ``M`` flushes earlier and admits staleness.  Results
+    flow through the spec/store machinery like any other sweep, so every
+    point is content-addressed and resumable.
+
+    Returns a dict with the sync accuracy curve plus, per buffer size,
+    the accuracy curve, mean staleness and final virtual time.
+    """
+    base = RunSpec.build(
+        dataset, partition, algorithm, preset=preset, seed=seed,
+        sample_per_round=sample_per_round, **fixed,
+    )
+    if "sample_fraction" not in fixed:
+        # The sync server derives its cohort from sample_fraction; pin it
+        # so the barrier baseline trains the same number of parties per
+        # round as every async point.
+        base = base.with_overrides(
+            sample_fraction=sample_per_round / base.partition.num_parties
+        )
+
+    def run_point(point: RunSpec):
+        if store is not None and store.completed(point):
+            return store.history(point)
+        outcome = run_spec(point)
+        if store is not None:
+            store.save(outcome)
+        return outcome.history
+
+    sync_history = run_point(base)
+    points = {}
+    for buffer in buffer_sizes:
+        history = run_point(
+            base.with_overrides(
+                aggregation="async",
+                buffer_size=buffer,
+                staleness_exponent=staleness_exponent,
+            )
+        )
+        points[buffer] = {
+            "accuracies": np.asarray(history.accuracies),
+            "mean_staleness": history.mean_staleness(),
+            "virtual_time": float(history.virtual_times[-1]),
+        }
+    return {
+        "sync": np.asarray(sync_history.accuracies),
+        "sample_per_round": sample_per_round,
+        "staleness_exponent": staleness_exponent,
+        "async": points,
+    }

@@ -43,9 +43,16 @@ from repro.federated.executor import (
     make_executor,
 )
 from repro.federated.faults import FaultModel, InjectedCrash, PartyFault
+from repro.federated.population import (
+    ClientPopulation,
+    ClientView,
+    MaterializedPopulation,
+    VirtualPopulation,
+)
+from repro.federated.async_engine import AsyncFederation
 from repro.federated.privacy import DifferentialPrivacy, approximate_epsilon
 from repro.federated.systems import SystemModel
-from repro.federated.sampling import StratifiedSampler, sample_parties
+from repro.federated.sampling import StratifiedSampler, sample_clients, sample_parties
 
 __all__ = [
     "FederatedConfig",
@@ -83,4 +90,10 @@ __all__ = [
     "SystemModel",
     "StratifiedSampler",
     "sample_parties",
+    "sample_clients",
+    "ClientPopulation",
+    "ClientView",
+    "MaterializedPopulation",
+    "VirtualPopulation",
+    "AsyncFederation",
 ]

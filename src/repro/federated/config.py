@@ -137,6 +137,30 @@ class FederatedConfig:
         :mod:`repro.grad.capture`).  Replays are bitwise identical to
         eager execution, so this is purely a speed knob; models using
         unsupported ops (e.g. dropout) transparently stay eager.
+    aggregation:
+        ``"sync"`` — the classic barrier round (Algorithm 1, the paper's
+        protocol); ``"async"`` — FedBuff-style buffered aggregation on
+        the virtual-clock event engine
+        (:class:`~repro.federated.async_engine.AsyncFederation`): the
+        server applies an update as soon as ``buffer_size`` client
+        uploads have arrived, and stragglers' deltas land in later
+        server steps with recorded staleness.
+    sample_per_round:
+        Absolute cohort size for the async engine (clients concurrently
+        in flight).  ``None`` derives it from ``sample_fraction`` times
+        the population.  Ignored by the synchronous server, which sizes
+        rounds by ``sample_fraction``.
+    buffer_size:
+        FedBuff buffer ``M``: client updates per server step under
+        ``aggregation="async"``.  ``None`` (default) means the full
+        cohort — a synchronization barrier, which reproduces the sync
+        server bitwise.  ``M < cohort`` is genuinely asynchronous.
+    staleness_exponent:
+        Staleness discount ``a`` for async flushes that mix model
+        versions: an update trained ``s`` server steps ago is weighted
+        by ``(1 + s) ** -a`` on top of its sample count.  ``0.0``
+        (default) weights purely by sample count; FedBuff's paper uses
+        ``a = 0.5``.
     """
 
     num_rounds: int = 50
@@ -172,6 +196,10 @@ class FederatedConfig:
     checkpoint_every: int = 0
     checkpoint_path: str | None = None
     compile: bool = False
+    aggregation: str = "sync"
+    sample_per_round: int | None = None
+    buffer_size: int | None = None
+    staleness_exponent: float = 0.0
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -274,4 +302,31 @@ class FederatedConfig:
         if self.checkpoint_every > 0 and not self.checkpoint_path:
             raise ValueError(
                 "checkpoint_every > 0 needs a checkpoint_path to write to"
+            )
+        if self.aggregation not in ("sync", "async"):
+            raise ValueError(
+                f"aggregation must be 'sync' or 'async', got {self.aggregation!r}"
+            )
+        if self.sample_per_round is not None and self.sample_per_round < 1:
+            raise ValueError(
+                f"sample_per_round must be >= 1, got {self.sample_per_round}"
+            )
+        if self.buffer_size is not None and self.buffer_size < 1:
+            raise ValueError(
+                f"buffer_size must be >= 1, got {self.buffer_size}"
+            )
+        if (
+            self.buffer_size is not None
+            and self.sample_per_round is not None
+            and self.buffer_size > self.sample_per_round
+        ):
+            raise ValueError(
+                f"buffer_size ({self.buffer_size}) cannot exceed the cohort "
+                f"(sample_per_round={self.sample_per_round}): the buffer can "
+                "never fill with fewer clients in flight than it holds"
+            )
+        if self.staleness_exponent < 0:
+            raise ValueError(
+                f"staleness_exponent must be non-negative, "
+                f"got {self.staleness_exponent}"
             )

@@ -47,6 +47,19 @@ class RoundRecord:
     #: recovery path the executor took this round ("retry", "serial"),
     #: None for a clean round.
     fallback: str | None = None
+    #: virtual clock reading when this server step committed (seconds on
+    #: the :class:`~repro.federated.systems.SystemModel` time axis).
+    #: 0.0 on synchronous-server records, which keep their own wall-clock
+    #: replay via :meth:`SystemModel.replay`.
+    virtual_time: float = 0.0
+    #: per-applied-update staleness (server steps elapsed between a
+    #: client's dispatch and its update landing; aligned with
+    #: ``participants``).  All zeros under a synchronous barrier; empty
+    #: on legacy records.
+    staleness: list[int] = field(default_factory=list)
+    #: number of buffered client updates this server step applied (the
+    #: FedBuff ``M``); 0 on synchronous-server records.
+    buffer_flush: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -64,6 +77,9 @@ class RoundRecord:
             "drop_reasons": list(self.drop_reasons),
             "slowdowns": list(self.slowdowns),
             "fallback": self.fallback,
+            "virtual_time": self.virtual_time,
+            "staleness": list(self.staleness),
+            "buffer_flush": self.buffer_flush,
         }
 
     @classmethod
@@ -85,6 +101,9 @@ class RoundRecord:
             drop_reasons=[str(r) for r in data.get("drop_reasons", [])],
             slowdowns=[float(s) for s in data.get("slowdowns", [])],
             fallback=data.get("fallback"),
+            virtual_time=float(data.get("virtual_time", 0.0)),
+            staleness=[int(s) for s in data.get("staleness", [])],
+            buffer_flush=int(data.get("buffer_flush", 0)),
         )
 
 
@@ -114,6 +133,23 @@ class History:
     @property
     def losses(self) -> np.ndarray:
         return np.array([r.train_loss for r in self.records])
+
+    @property
+    def virtual_times(self) -> np.ndarray:
+        """Virtual-clock reading at each server step (async engine runs)."""
+        return np.array([r.virtual_time for r in self.records])
+
+    def mean_staleness(self) -> float:
+        """Average staleness over every applied update in the run.
+
+        0.0 for synchronous runs (and async runs with ``buffer ==
+        cohort``, where the barrier guarantees no update ever waits out
+        a server step).
+        """
+        values = [s for r in self.records for s in r.staleness]
+        if not values:
+            return 0.0
+        return float(np.mean(values))
 
     @property
     def dropped_counts(self) -> np.ndarray:

@@ -37,6 +37,38 @@ def sample_parties(
     return np.sort(rng.choice(num_parties, size=count, replace=False))
 
 
+def sample_clients(
+    population: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly sample ``count`` distinct parties from ``population``.
+
+    The count-based sibling of :func:`sample_parties`, used by the async
+    engine where cohorts are sized absolutely (``sample_per_round=100``
+    out of a million) rather than as a fraction.  Guards explicitly:
+    ``count`` must satisfy ``0 < count <= population`` — asking for more
+    clients than exist (the fraction-form equivalent of ``fraction > 1``)
+    is an error, not a silent clamp to the full population.
+
+    The draw is the exact same ``rng.choice(N, size=count,
+    replace=False)`` call as :func:`sample_parties` (numpy implements it
+    with Floyd's algorithm — O(count) time and memory, no O(population)
+    permutation, so million-client populations stay flat), which means a
+    barrier-mode async run consumes the sampler RNG identically to the
+    synchronous server.  ``count == population`` returns all parties in
+    index order without touching the RNG, mirroring ``fraction == 1.0``.
+    """
+    if population <= 0:
+        raise ValueError(f"population must be positive, got {population}")
+    if not 0 < count <= population:
+        raise ValueError(
+            f"count must be in [1, population={population}], got {count}; "
+            "cannot sample more clients than the population holds"
+        )
+    if count == population:
+        return np.arange(population)
+    return np.sort(rng.choice(population, size=count, replace=False))
+
+
 class StratifiedSampler:
     """Label-distribution-aware party sampling (paper Section 6.1).
 

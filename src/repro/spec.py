@@ -127,6 +127,38 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class PopulationSpec:
+    """Population scale and aggregation mode (the async-engine axes).
+
+    With ``size=None`` and ``aggregation="sync"`` (the defaults) the run
+    is the classic partition-based synchronous federation and this
+    section contributes nothing.  Setting ``size`` switches the run to a
+    lazy :class:`~repro.federated.population.VirtualPopulation` of that
+    many parties (the ``partition`` section's strategy is then ignored —
+    per-party data comes from the closed-form ``(seed, party)`` draws);
+    ``aggregation="async"`` runs the virtual-clock buffered engine
+    (:class:`~repro.federated.async_engine.AsyncFederation`) — with or
+    without a virtual population.
+    """
+
+    #: total parties; None = materialize clients from the partition
+    size: int | None = None
+    #: cohort size (clients concurrently in flight) for the async
+    #: engine; None derives it from ``train.sample_fraction``
+    sample_per_round: int | None = None
+    #: local dataset size per virtual party
+    samples_per_client: int = 64
+    #: Dirichlet label-skew beta for virtual parties (None = iid)
+    skew_beta: float | None = None
+    #: "sync" (barrier rounds) or "async" (FedBuff-style buffering)
+    aggregation: str = "sync"
+    #: async buffer M; None = the cohort (an exact barrier)
+    buffer_size: int | None = None
+    #: staleness discount exponent for mixed-version async flushes
+    staleness_exponent: float = 0.0
+
+
+@dataclass(frozen=True)
 class ExecSpec:
     """How a run is executed — excluded from :meth:`RunSpec.run_id`.
 
@@ -158,6 +190,7 @@ SECTIONS = {
     "train": TrainSpec,
     "comm": CommSpec,
     "faults": FaultSpec,
+    "population": PopulationSpec,
     "exec": ExecSpec,
 }
 
@@ -192,6 +225,13 @@ OVERRIDE_PATHS: dict[str, tuple[str | None, str]] = {
     "straggler_factor": ("faults", "straggler_factor"),
     "crash_prob": ("faults", "crash_prob"),
     "deadline": ("faults", "deadline"),
+    "population": ("population", "size"),
+    "sample_per_round": ("population", "sample_per_round"),
+    "samples_per_client": ("population", "samples_per_client"),
+    "population_skew_beta": ("population", "skew_beta"),
+    "aggregation": ("population", "aggregation"),
+    "buffer_size": ("population", "buffer_size"),
+    "staleness_exponent": ("population", "staleness_exponent"),
     "executor": ("exec", "executor"),
     "num_workers": ("exec", "num_workers"),
     "stack_size": ("exec", "stack_size"),
@@ -238,6 +278,7 @@ class RunSpec:
     model: ModelSpec = field(default_factory=ModelSpec)
     comm: CommSpec = field(default_factory=CommSpec)
     faults: FaultSpec = field(default_factory=FaultSpec)
+    population: PopulationSpec = field(default_factory=PopulationSpec)
     exec: ExecSpec = field(default_factory=ExecSpec)
     seed: int = 0
 
@@ -273,6 +314,13 @@ class RunSpec:
         straggler_factor: float = 1.0,
         crash_prob: float = 0.0,
         deadline: float | None = None,
+        population: int | None = None,
+        sample_per_round: int | None = None,
+        samples_per_client: int = 64,
+        population_skew_beta: float | None = None,
+        aggregation: str = "sync",
+        buffer_size: int | None = None,
+        staleness_exponent: float = 0.0,
         checkpoint_every: int = 0,
         checkpoint_path: str | None = None,
         compile: bool = False,
@@ -347,6 +395,15 @@ class RunSpec:
                 straggler_factor=straggler_factor,
                 crash_prob=crash_prob,
                 deadline=deadline,
+            ),
+            population=PopulationSpec(
+                size=population,
+                sample_per_round=sample_per_round,
+                samples_per_client=samples_per_client,
+                skew_beta=population_skew_beta,
+                aggregation=aggregation,
+                buffer_size=buffer_size,
+                staleness_exponent=staleness_exponent,
             ),
             exec=ExecSpec(
                 executor=executor,
@@ -519,6 +576,55 @@ class RunSpec:
                 "train.sample_fraction must be in (0, 1], "
                 f"got {self.train.sample_fraction}"
             )
+        pop = self.population
+        if pop.aggregation not in ("sync", "async"):
+            problems.append(
+                "population.aggregation must be 'sync' or 'async', "
+                f"got {pop.aggregation!r}"
+            )
+        if pop.size is not None and pop.size <= 0:
+            problems.append(
+                f"population.size must be positive, got {pop.size}"
+            )
+        if pop.sample_per_round is not None:
+            if pop.sample_per_round <= 0:
+                problems.append(
+                    "population.sample_per_round must be positive, "
+                    f"got {pop.sample_per_round}"
+                )
+            elif pop.size is not None and pop.sample_per_round > pop.size:
+                problems.append(
+                    f"population.sample_per_round ({pop.sample_per_round}) "
+                    f"exceeds population.size ({pop.size}): cannot sample "
+                    "more clients per round than the population holds"
+                )
+        if pop.samples_per_client <= 0:
+            problems.append(
+                "population.samples_per_client must be positive, "
+                f"got {pop.samples_per_client}"
+            )
+        if pop.skew_beta is not None and pop.skew_beta <= 0:
+            problems.append(
+                f"population.skew_beta must be positive, got {pop.skew_beta}"
+            )
+        if pop.buffer_size is not None:
+            if pop.buffer_size <= 0:
+                problems.append(
+                    f"population.buffer_size must be positive, got {pop.buffer_size}"
+                )
+            elif (
+                pop.sample_per_round is not None
+                and pop.buffer_size > pop.sample_per_round
+            ):
+                problems.append(
+                    f"population.buffer_size ({pop.buffer_size}) exceeds the "
+                    f"cohort (sample_per_round={pop.sample_per_round})"
+                )
+        if pop.staleness_exponent < 0:
+            problems.append(
+                "population.staleness_exponent must be non-negative, "
+                f"got {pop.staleness_exponent}"
+            )
         if problems:
             raise ValueError("invalid RunSpec:\n  " + "\n  ".join(problems))
         return self
@@ -540,6 +646,7 @@ __all__ = [
     "TrainSpec",
     "CommSpec",
     "FaultSpec",
+    "PopulationSpec",
     "ExecSpec",
     "RunSpec",
     "OVERRIDE_PATHS",

@@ -1,0 +1,101 @@
+"""Auto-derived persistence round-trip for every RoundRecord field.
+
+The test enumerates ``dataclasses.fields(RoundRecord)`` rather than
+hard-coding names, so adding a field without threading it through
+``to_dict``/``from_dict`` fails here (and in the ``tools/lint.py`` AST
+gate) instead of silently resetting reloaded histories to defaults.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.federated import History, RoundRecord
+
+
+def synthesize(field: dataclasses.Field, index: int):
+    """A distinct, non-default value for a field, keyed by its annotation."""
+    synthesizers = {
+        "int": lambda: 1000 + index,
+        "float": lambda: 0.5 + index,
+        "float | None": lambda: 0.25 + index,
+        "str | None": lambda: f"value-{index}",
+        "list[int]": lambda: [index, index + 1],
+        "list[str]": lambda: [f"reason-{index}"],
+        "list[float]": lambda: [index + 0.5, index + 1.5],
+    }
+    try:
+        return synthesizers[field.type]()
+    except KeyError:
+        raise AssertionError(
+            f"no synthesizer for RoundRecord.{field.name}: {field.type}; "
+            "teach this test about the new field type"
+        )
+
+
+def distinct_record() -> RoundRecord:
+    values = {
+        field.name: synthesize(field, index)
+        for index, field in enumerate(dataclasses.fields(RoundRecord))
+    }
+    return RoundRecord(**values)
+
+
+class TestRoundRecordRoundTrip:
+    def test_every_field_survives(self):
+        record = distinct_record()
+        # Through JSON, exactly as ResultStore persists histories.
+        restored = RoundRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+        for field in dataclasses.fields(RoundRecord):
+            assert getattr(restored, field.name) == getattr(record, field.name), (
+                f"RoundRecord.{field.name} did not survive to_dict/from_dict"
+            )
+
+    def test_synthesized_values_differ_from_defaults(self):
+        # The round trip only proves persistence if each probe value is
+        # distinguishable from what from_dict would default to.
+        record = distinct_record()
+        for field in dataclasses.fields(RoundRecord):
+            value = getattr(record, field.name)
+            if field.default is not dataclasses.MISSING:
+                assert value != field.default
+            elif field.default_factory is not dataclasses.MISSING:
+                assert value != field.default_factory()
+
+    def test_none_accuracy_survives(self):
+        record = distinct_record()
+        record.test_accuracy = None
+        restored = RoundRecord.from_dict(record.to_dict())
+        assert restored.test_accuracy is None
+
+    def test_legacy_record_defaults_new_fields(self):
+        legacy = {"round": 2, "test_accuracy": 0.5, "train_loss": 1.0}
+        restored = RoundRecord.from_dict(legacy)
+        assert restored.virtual_time == 0.0
+        assert restored.staleness == []
+        assert restored.buffer_flush == 0
+
+
+class TestHistoryRoundTrip:
+    def test_history_round_trips_records(self):
+        history = History()
+        for index in range(3):
+            record = distinct_record()
+            record.round_index = index
+            history.append(record)
+        restored = History.from_dict(json.loads(json.dumps(history.to_dict())))
+        assert len(restored) == 3
+        for original, reloaded in zip(history.records, restored.records):
+            assert original == reloaded
+
+    def test_staleness_accessors(self):
+        history = History()
+        history.append(
+            RoundRecord(0, 0.5, 1.0, [1, 2], staleness=[0, 2], virtual_time=3.5)
+        )
+        assert history.mean_staleness() == pytest.approx(1.0)
+        assert history.virtual_times.tolist() == [3.5]
+
+    def test_mean_staleness_empty(self):
+        assert History().mean_staleness() == 0.0

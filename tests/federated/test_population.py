@@ -1,0 +1,172 @@
+"""Lazy client populations: derivation purity, lifecycle, validation."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.federated import (
+    MaterializedPopulation,
+    VirtualPopulation,
+    make_clients,
+    sample_clients,
+)
+from repro.partition import HomogeneousPartitioner
+
+
+def toy_dataset(seed=0, n=120, dim=5, classes=3):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, dim)).astype(np.float32)
+    w = rng.standard_normal((dim, classes)).astype(np.float32)
+    return ArrayDataset(x, (x @ w).argmax(axis=1).astype(np.int64))
+
+
+class TestSampleClients:
+    def test_draws_sorted_unique_ids(self):
+        cohort = sample_clients(1000, 10, np.random.default_rng(0))
+        assert len(cohort) == 10
+        assert len(set(cohort.tolist())) == 10
+        assert np.array_equal(cohort, np.sort(cohort))
+        assert cohort.min() >= 0 and cohort.max() < 1000
+
+    def test_full_population_is_arange(self):
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        cohort = sample_clients(7, 7, rng)
+        assert np.array_equal(cohort, np.arange(7))
+        # The degenerate draw must not consume sampler randomness.
+        assert rng.bit_generator.state == before
+
+    def test_rejects_count_above_population(self):
+        with pytest.raises(ValueError, match="cannot sample more clients"):
+            sample_clients(10, 11, np.random.default_rng(0))
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError, match=r"\[1, population"):
+            sample_clients(10, 0, np.random.default_rng(0))
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError, match="population"):
+            sample_clients(0, 1, np.random.default_rng(0))
+
+    def test_huge_population_stays_fast(self):
+        # numpy draws without replacement in O(count); a billion-party
+        # ID space must not allocate a billion-entry permutation.
+        cohort = sample_clients(1_000_000_000, 100, np.random.default_rng(3))
+        assert len(cohort) == 100
+
+
+class TestVirtualPopulation:
+    def test_party_indices_are_pure(self):
+        data = toy_dataset()
+        a = VirtualPopulation(data, size=10_000, samples_per_client=16, seed=5)
+        b = VirtualPopulation(data, size=10_000, samples_per_client=16, seed=5)
+        for party in (0, 17, 9_999):
+            assert np.array_equal(a.party_indices(party), b.party_indices(party))
+
+    def test_different_parties_differ(self):
+        pop = VirtualPopulation(toy_dataset(), size=100, samples_per_client=16)
+        assert not np.array_equal(pop.party_indices(1), pop.party_indices(2))
+
+    def test_checkout_release_spills_state(self):
+        pop = VirtualPopulation(toy_dataset(), size=1000, samples_per_client=16)
+        client = pop.checkout(42)
+        client.state["marker"] = [1.0, 2.0]
+        client.rng.random()  # advance the private stream
+        rng_state = client.rng.bit_generator.state
+        pop.release(42)
+        assert pop.materialized_count == 0
+        assert pop.spilled_count == 1
+        revived = pop.checkout(42)
+        assert revived.state["marker"] == [1.0, 2.0]
+        assert revived.rng.bit_generator.state == rng_state
+        pop.release(42)
+
+    def test_refcounted_checkout(self):
+        pop = VirtualPopulation(toy_dataset(), size=10, samples_per_client=8)
+        first = pop.checkout(3)
+        second = pop.checkout(3)
+        assert first is second
+        pop.release(3)
+        assert pop.materialized_count == 1  # still held once
+        pop.release(3)
+        assert pop.materialized_count == 0
+
+    def test_memory_stays_flat(self):
+        pop = VirtualPopulation(toy_dataset(), size=1_000_000, samples_per_client=8)
+        for party in range(0, 1_000_000, 100_000):
+            pop.checkout(party)
+            pop.release(party)
+        assert pop.materialized_count == 0
+        assert pop.spilled_count == 10
+
+    def test_active_requires_checkout(self):
+        pop = VirtualPopulation(toy_dataset(), size=10, samples_per_client=8)
+        with pytest.raises(KeyError):
+            pop.active(4)
+
+    def test_release_requires_checkout(self):
+        pop = VirtualPopulation(toy_dataset(), size=10, samples_per_client=8)
+        with pytest.raises(RuntimeError):
+            pop.release(4)
+
+    def test_out_of_range_party_rejected(self):
+        pop = VirtualPopulation(toy_dataset(), size=10, samples_per_client=8)
+        with pytest.raises(IndexError):
+            pop.checkout(10)
+
+    def test_skewed_parties_draw_few_classes(self):
+        data = toy_dataset(n=300)
+        pop = VirtualPopulation(
+            data, size=100, samples_per_client=32, skew_beta=0.05
+        )
+        labels = np.asarray(data.labels)
+        class_counts = [
+            len(np.unique(labels[pop.party_indices(party)]))
+            for party in range(20)
+        ]
+        # beta=0.05 concentrates nearly all mass on one class for most
+        # parties; iid parties would see all 3 classes nearly always.
+        assert np.mean(class_counts) < 2.5
+
+    def test_validation(self):
+        data = toy_dataset(n=20)
+        with pytest.raises(ValueError, match="size"):
+            VirtualPopulation(data, size=0)
+        with pytest.raises(ValueError, match="samples_per_client"):
+            VirtualPopulation(data, size=5, samples_per_client=21)
+        with pytest.raises(ValueError, match="skew_beta"):
+            VirtualPopulation(data, size=5, samples_per_client=4, skew_beta=-1)
+
+    def test_client_view_indexes_active_parties(self):
+        pop = VirtualPopulation(toy_dataset(), size=50, samples_per_client=8)
+        view = pop.client_view()
+        assert len(view) == 50
+        client = pop.checkout(7)
+        assert view[7] is client
+        pop.release(7)
+
+
+class TestMaterializedPopulation:
+    def make_clients(self, num_parties=4, seed=0):
+        data = toy_dataset(seed)
+        partition = HomogeneousPartitioner().partition(
+            data, num_parties, np.random.default_rng(seed)
+        )
+        return make_clients(partition, data, seed=seed)
+
+    def test_wraps_prebuilt_clients(self):
+        clients = self.make_clients()
+        pop = MaterializedPopulation(clients)
+        assert pop.size == 4
+        assert pop.checkout(2) is clients[2]
+        pop.release(2)  # no-op: state lives on the client
+        assert pop.active(2) is clients[2]
+        assert pop.materialized_count == 4
+
+    def test_client_view_is_the_real_list(self):
+        clients = self.make_clients()
+        assert MaterializedPopulation(clients).client_view() == clients
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MaterializedPopulation([])

@@ -47,3 +47,109 @@ class TestFacadeFreeze:
         empty.write_text("x = 1\n")
         (problem,) = lint.check_facade_frozen(empty)
         assert "not found" in problem
+
+
+class TestEventRegistry:
+    def test_current_engine_passes(self):
+        assert lint.check_event_registry(REPO / lint.ASYNC_ENGINE_FILE) == []
+
+    def test_unhandled_kind_rejected(self, tmp_path):
+        bad = tmp_path / "async_engine.py"
+        bad.write_text(
+            "@register_event\n"
+            "class Orphan:\n"
+            "    kind = 'orphan'\n"
+            "class AsyncFederation:\n"
+            "    def _handle_client_update(self, event):\n"
+            "        pass\n"
+        )
+        problems = lint.check_event_registry(bad)
+        assert any("no _handle_orphan" in p for p in problems)
+
+    def test_dead_handler_rejected(self, tmp_path):
+        bad = tmp_path / "async_engine.py"
+        bad.write_text(
+            "class AsyncFederation:\n"
+            "    def _handle_ghost(self, event):\n"
+            "        pass\n"
+        )
+        problems = lint.check_event_registry(bad)
+        assert any("_handle_ghost" in p and "no registered" in p for p in problems)
+
+    def test_event_without_kind_rejected(self, tmp_path):
+        bad = tmp_path / "async_engine.py"
+        bad.write_text(
+            "@register_event\n"
+            "class Nameless:\n"
+            "    pass\n"
+            "class AsyncFederation:\n"
+            "    pass\n"
+        )
+        problems = lint.check_event_registry(bad)
+        assert any("no literal string `kind`" in p for p in problems)
+
+    def test_matched_pair_passes(self, tmp_path):
+        good = tmp_path / "async_engine.py"
+        good.write_text(
+            "@register_event\n"
+            "class Tick:\n"
+            "    kind = 'tick'\n"
+            "class AsyncFederation:\n"
+            "    def _handle_tick(self, event):\n"
+            "        pass\n"
+        )
+        assert lint.check_event_registry(good) == []
+
+
+class TestRoundRecordDicts:
+    def test_current_record_passes(self):
+        assert lint.check_round_record_dicts(REPO / lint.HISTORY_FILE) == []
+
+    def test_field_missing_from_to_dict_rejected(self, tmp_path):
+        bad = tmp_path / "history.py"
+        bad.write_text(
+            "class RoundRecord:\n"
+            "    round_index: int\n"
+            "    new_field: int = 0\n"
+            "    def to_dict(self):\n"
+            "        return {'round': self.round_index}\n"
+            "    @classmethod\n"
+            "    def from_dict(cls, data):\n"
+            "        return cls(round_index=data['round'], new_field=0)\n"
+        )
+        problems = lint.check_round_record_dicts(bad)
+        assert any("new_field" in p and "to_dict" in p for p in problems)
+
+    def test_field_missing_from_from_dict_rejected(self, tmp_path):
+        bad = tmp_path / "history.py"
+        bad.write_text(
+            "class RoundRecord:\n"
+            "    round_index: int\n"
+            "    new_field: int = 0\n"
+            "    def to_dict(self):\n"
+            "        return {'round': self.round_index, 'new': self.new_field}\n"
+            "    @classmethod\n"
+            "    def from_dict(cls, data):\n"
+            "        return cls(round_index=data['round'])\n"
+        )
+        problems = lint.check_round_record_dicts(bad)
+        assert any("new_field" in p and "from_dict" in p for p in problems)
+
+    def test_complete_record_passes(self, tmp_path):
+        good = tmp_path / "history.py"
+        good.write_text(
+            "class RoundRecord:\n"
+            "    round_index: int\n"
+            "    def to_dict(self):\n"
+            "        return {'round': self.round_index}\n"
+            "    @classmethod\n"
+            "    def from_dict(cls, data):\n"
+            "        return cls(round_index=data['round'])\n"
+        )
+        assert lint.check_round_record_dicts(good) == []
+
+    def test_missing_serializers_reported(self, tmp_path):
+        bad = tmp_path / "history.py"
+        bad.write_text("class RoundRecord:\n    round_index: int\n")
+        problems = lint.check_round_record_dicts(bad)
+        assert len(problems) == 2

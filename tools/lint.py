@@ -259,12 +259,186 @@ def check_executor_registry(path: Path = EXECUTOR_FILE) -> list[str]:
     return problems
 
 
+#: the async engine's event registry: the virtual-clock loop dispatches
+#: events via ``getattr(self, f"_handle_{event.kind}")``, so an event
+#: class without a handler (or vice versa) only fails at simulation time.
+ASYNC_ENGINE_FILE = Path("src/repro/federated/async_engine.py")
+ASYNC_ENGINE_CLASS = "AsyncFederation"
+EVENT_DECORATOR = "register_event"
+HANDLER_PREFIX = "_handle_"
+
+
+def check_event_registry(path: Path = ASYNC_ENGINE_FILE) -> list[str]:
+    """Keep scheduler event types and their handlers in lockstep.
+
+    Every ``@register_event`` class must declare a string ``kind`` with a
+    matching ``AsyncFederation._handle_<kind>`` method, and every
+    ``_handle_*`` method must correspond to a registered kind — the event
+    loop resolves handlers by name at dispatch time, so a mismatch is a
+    runtime AttributeError (or dead code) this gate catches statically.
+    """
+    if not path.is_file():
+        return [f"{path}: missing (event-registry check expects it here)"]
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError:
+        return []  # the syntax error is reported by the main lint pass
+    problems = []
+    kinds: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        decorated = any(
+            isinstance(dec, ast.Name) and dec.id == EVENT_DECORATOR
+            for dec in node.decorator_list
+        )
+        if not decorated:
+            continue
+        kind = None
+        for item in node.body:
+            if (
+                isinstance(item, (ast.Assign, ast.AnnAssign))
+                and isinstance(item.value, ast.Constant)
+                and isinstance(item.value.value, str)
+            ):
+                targets = (
+                    item.targets if isinstance(item, ast.Assign) else [item.target]
+                )
+                if any(
+                    isinstance(t, ast.Name) and t.id == "kind" for t in targets
+                ):
+                    kind = item.value.value
+        if kind is None:
+            problems.append(
+                f"{path}:{node.lineno}: event class {node.name} has no "
+                "literal string `kind` attribute"
+            )
+            continue
+        kinds[kind] = node.lineno
+    engine = next(
+        (
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef) and node.name == ASYNC_ENGINE_CLASS
+        ),
+        None,
+    )
+    if engine is None:
+        return problems + [
+            f"{path}: {ASYNC_ENGINE_CLASS} not found (event-registry check)"
+        ]
+    handlers = {
+        item.name[len(HANDLER_PREFIX):]: item.lineno
+        for item in engine.body
+        if isinstance(item, ast.FunctionDef)
+        and item.name.startswith(HANDLER_PREFIX)
+    }
+    for kind, lineno in sorted(kinds.items()):
+        if kind not in handlers:
+            problems.append(
+                f"{path}:{lineno}: event kind {kind!r} is registered but "
+                f"{ASYNC_ENGINE_CLASS} defines no {HANDLER_PREFIX}{kind}"
+            )
+    for kind, lineno in sorted(handlers.items()):
+        if kind not in kinds:
+            problems.append(
+                f"{path}:{lineno}: {HANDLER_PREFIX}{kind} has no registered "
+                f"event class with kind={kind!r}; dead handler or missing "
+                f"@{EVENT_DECORATOR}"
+            )
+    return problems
+
+
+#: the History round record: every dataclass field must survive the
+#: to_dict/from_dict persistence round trip, or stored runs silently lose
+#: that column.
+HISTORY_FILE = Path("src/repro/federated/history.py")
+RECORD_CLASS = "RoundRecord"
+
+
+def check_round_record_dicts(path: Path = HISTORY_FILE) -> list[str]:
+    """Every RoundRecord field must appear in to_dict and from_dict.
+
+    A field added to the dataclass but not threaded through both
+    serializers round-trips to its default, which corrupts persisted
+    histories without any error.  The check is syntactic: to_dict must
+    read ``self.<field>`` and from_dict must pass ``<field>=`` to the
+    constructor.
+    """
+    if not path.is_file():
+        return [f"{path}: missing (round-record check expects it here)"]
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError:
+        return []  # the syntax error is reported by the main lint pass
+    record = next(
+        (
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef) and node.name == RECORD_CLASS
+        ),
+        None,
+    )
+    if record is None:
+        return [f"{path}: {RECORD_CLASS} not found (round-record check)"]
+    fields = [
+        item.target.id
+        for item in record.body
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name)
+    ]
+    methods = {
+        item.name: item
+        for item in record.body
+        if isinstance(item, ast.FunctionDef)
+    }
+    problems = []
+    for name in ("to_dict", "from_dict"):
+        if name not in methods:
+            problems.append(
+                f"{path}:{record.lineno}: {RECORD_CLASS}.{name} missing "
+                "(round-record check)"
+            )
+    if problems:
+        return problems
+    to_dict_reads = {
+        node.attr
+        for node in ast.walk(methods["to_dict"])
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    }
+    from_dict_kwargs = {
+        keyword.arg
+        for node in ast.walk(methods["from_dict"])
+        if isinstance(node, ast.Call)
+        for keyword in node.keywords
+        if keyword.arg is not None
+    }
+    for field in fields:
+        if field not in to_dict_reads:
+            problems.append(
+                f"{path}: {RECORD_CLASS}.{field} is never read in to_dict; "
+                "the field would not persist"
+            )
+        if field not in from_dict_kwargs:
+            problems.append(
+                f"{path}: {RECORD_CLASS}.{field} is never passed in "
+                "from_dict; reloaded histories would reset it to the default"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     roots = (argv if argv is not None else sys.argv[1:]) or ["src", "tests"]
     code = _try_external(roots)
     if code is None:
         code = _fallback(roots)
-    structural_problems = check_facade_frozen() + check_executor_registry()
+    structural_problems = (
+        check_facade_frozen()
+        + check_executor_registry()
+        + check_event_registry()
+        + check_round_record_dicts()
+    )
     for problem in structural_problems:
         print(problem)
     if structural_problems:
