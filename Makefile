@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-stacked test-async lint bench bench-smoke
+.PHONY: test test-fast test-stacked test-async test-concurrent lint bench bench-smoke
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,11 @@ test-stacked:
 # Just the virtual-clock async engine and lazy-population layer.
 test-async:
 	$(PYTHON) -m pytest -x -q -m async
+
+# Just the crash-safety suite: racing saves, SIGKILLed workers, stale
+# claims, parallel-vs-serial store identity.
+test-concurrent:
+	$(PYTHON) -m pytest -x -q -m concurrent
 
 # Uses ruff or pyflakes when installed; otherwise a stdlib AST fallback.
 lint:

@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="ResultStore directory: completed trials are read back, "
              "fresh ones saved",
     )
+    trials.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes claiming trials through the crash-safe "
+             "scheduler (1 = run inline)",
+    )
 
     report = commands.add_parser(
         "partition-report", help="partition a dataset and print skew statistics"
@@ -95,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=None, metavar="DIR",
         help="ResultStore directory: completed cells are read back, fresh "
              "ones saved — a killed matrix resumes where it stopped",
+    )
+    table3.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes claiming matrix cells through the "
+             "crash-safe scheduler; kill -9 anything mid-run and "
+             "re-invoking completes the matrix (1 = run inline)",
     )
     return parser
 
@@ -352,6 +363,7 @@ def cmd_trials(args) -> int:
         base_seed=args.init_seed if args.spec is None else spec.seed,
         store=store,
         spec=spec,
+        jobs=args.jobs,
     )
     print(
         f"{spec.data.name} / {spec.partition.strategy} / "
@@ -424,6 +436,7 @@ def cmd_table3(args) -> int:
         base_seed=args.init_seed,
         store=store,
         progress=progress,
+        jobs=args.jobs,
     )
     print()
     print(board.render())

@@ -19,6 +19,7 @@ from repro.spec import RunSpec
 from repro.experiments.decision_tree import SkewDescription, recommend_algorithm
 from repro.experiments.leaderboard import Leaderboard
 from repro.experiments.centralized import centralized_reference, train_centralized
+from repro.experiments.scheduler import CellEvent, MatrixReport, run_cells
 from repro.experiments.sweeps import SweepResult, sweep
 from repro.experiments.comm import CommSweepResult, communication_sweep
 from repro.experiments.faults import DropoutSweepResult, dropout_sweep
@@ -38,6 +39,9 @@ __all__ = [
     "centralized_reference",
     "sweep",
     "SweepResult",
+    "run_cells",
+    "CellEvent",
+    "MatrixReport",
     "communication_sweep",
     "CommSweepResult",
     "dropout_sweep",

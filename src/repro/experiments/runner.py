@@ -382,20 +382,22 @@ def run_trials(
     base_seed: int = 0,
     store=None,
     spec: RunSpec | None = None,
+    jobs: int = 1,
     **kwargs,
 ) -> TrialSummary:
     """The paper's protocol: repeat a cell over seeds, report mean +- std.
 
     Builds the base :class:`~repro.spec.RunSpec` once (or takes a
-    prebuilt one via ``spec``) and derives each trial with
-    ``with_overrides(seed=...)``.  With a ``store``
+    prebuilt one via ``spec``) and enumerates the trials with
+    :meth:`~repro.spec.RunSpec.trial_specs`.  With a ``store``
     (:class:`~repro.experiments.store.ResultStore`), trials whose spec is
     already :meth:`~repro.experiments.store.ResultStore.completed` are
     read back instead of re-run, and fresh trials are saved — re-invoking
-    a finished protocol runs zero new cells.
+    a finished protocol runs zero new cells.  ``jobs > 1`` runs the
+    trials concurrently through the crash-safe scheduler
+    (:func:`~repro.experiments.scheduler.run_cells`); records are
+    byte-identical to a serial run.
     """
-    if num_trials <= 0:
-        raise ValueError(f"num_trials must be positive, got {num_trials}")
     if spec is not None:
         if dataset is not None or partition is not None or algorithm is not None:
             raise TypeError("pass either spec or dataset/partition/algorithm")
@@ -412,17 +414,33 @@ def run_trials(
         raise TypeError("run_trials needs dataset, partition and algorithm (or spec)")
     else:
         base = RunSpec.build(dataset, partition, algorithm, **kwargs)
+    trial_specs = base.trial_specs(num_trials, base_seed=base_seed)
     summary = TrialSummary(
         dataset=dataset,
         partition=str(partition),
         algorithm=algorithm,
     )
-    for trial in range(num_trials):
-        spec = base.with_overrides(seed=base_seed + 1000 * trial)
-        if store is not None and store.completed(spec):
-            summary.accuracies.append(float(store.get(spec)["final_accuracy"]))
+    if jobs > 1:
+        import tempfile
+
+        from repro.experiments.scheduler import run_cells
+        from repro.experiments.store import ResultStore
+
+        with tempfile.TemporaryDirectory(prefix="repro-trials-") as scratch:
+            target = store if store is not None else ResultStore(scratch)
+            run_cells(trial_specs, store=target, jobs=jobs).raise_on_failure()
+            for trial_spec in trial_specs:
+                summary.accuracies.append(
+                    float(target.get(trial_spec)["final_accuracy"])
+                )
+        return summary
+    for trial_spec in trial_specs:
+        if store is not None and store.completed(trial_spec):
+            summary.accuracies.append(
+                float(store.get(trial_spec)["final_accuracy"])
+            )
             continue
-        outcome = run_spec(spec)
+        outcome = run_spec(trial_spec)
         if store is not None:
             store.save(outcome)
         summary.accuracies.append(outcome.final_accuracy)

@@ -17,7 +17,10 @@ load: every read path treats ``spec``/``run_id`` as optional.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import re
+import warnings
 
 from repro.federated.history import History
 from repro.spec import RunSpec
@@ -70,6 +73,17 @@ def _normalize_record(record: dict) -> dict:
     return record
 
 
+class StoreWarning(UserWarning):
+    """A store file could not be read; the record was skipped, not raised."""
+
+
+#: filename shape of content-addressed records: ``<prefix>__<run_id>.json``.
+#: Files named this way embed the run_id their name carries, so a
+#: run_id lookup never needs to open them — only legacy or hand-renamed
+#: files (which don't match) can hide a hash inside.
+_CANONICAL_NAME = re.compile(r"^.+__[0-9a-f]{16}\.json$")
+
+
 class ResultStore:
     """Directory-backed store of experiment results, keyed by ``run_id``."""
 
@@ -100,9 +114,33 @@ class ResultStore:
         return self.root / f"{dataset}__{safe_partition}__{algorithm}__{seed}.json"
 
     def save(self, outcome: ExperimentOutcome) -> pathlib.Path:
+        """Write a record atomically: a reader never sees a partial file.
+
+        The JSON goes to a pid-suffixed ``.tmp`` sibling first and is
+        published with ``os.replace``, so a writer killed mid-save
+        leaves at most an orphaned temp file (invisible to the
+        ``*.json`` globs every read path uses) and two processes racing
+        on the same run_id end with one intact record — last writer
+        wins whole, never interleaved.
+        """
         path = self._path(outcome)
-        path.write_text(json.dumps(outcome_to_dict(outcome), indent=2))
+        payload = json.dumps(outcome_to_dict(outcome), indent=2)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
         return path
+
+    def _load(self, path: pathlib.Path) -> dict | None:
+        """Parse one record file; warn and return None if unreadable."""
+        try:
+            return _normalize_record(json.loads(path.read_text()))
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+            warnings.warn(
+                f"skipping unreadable result file {path}: {error}",
+                StoreWarning,
+                stacklevel=3,
+            )
+            return None
 
     def get(self, spec: RunSpec) -> dict | None:
         """The stored record for this exact spec, or None.
@@ -110,16 +148,31 @@ class ResultStore:
         Matches on ``run_id``, so the lookup is insensitive to the
         ``exec`` section (a serially-computed result satisfies a
         parallel run's query) and blind to legacy records, which carry
-        no content hash.
+        no content hash.  The lookup is O(1)-ish in the store size: the
+        run_id is in the filename, so a miss globs for the
+        ``*__{run_id}.json`` suffix and only falls back to opening the
+        handful of legacy/renamed files whose names carry no hash —
+        it never re-parses every canonical record the way the old full
+        scan did (which made a fresh N-cell matrix O(N²) in JSON loads).
         """
         run_id = spec.run_id()
         path = self._spec_path(spec)
         if path.exists():
-            return _normalize_record(json.loads(path.read_text()))
-        # Files may have been renamed or copied between stores; fall back
-        # to the embedded hash.
-        for record in self.records():
-            if record["run_id"] == run_id:
+            record = self._load(path)
+            if record is not None:
+                return record
+        # The dataset/algorithm prefix may differ if the file was copied
+        # from another store; any canonical name carries the hash.
+        for candidate in sorted(self.root.glob(f"*__{run_id}.json")):
+            record = self._load(candidate)
+            if record is not None and record["run_id"] == run_id:
+                return record
+        # Legacy or hand-renamed files hide their hash (if any) inside.
+        for candidate in sorted(self.root.glob("*.json")):
+            if _CANONICAL_NAME.match(candidate.name):
+                continue
+            record = self._load(candidate)
+            if record is not None and record["run_id"] == run_id:
                 return record
         return None
 
@@ -135,11 +188,18 @@ class ResultStore:
         return History.from_dict(record["history"])
 
     def records(self) -> list[dict]:
-        """All stored run records, sorted by filename."""
-        return [
-            _normalize_record(json.loads(path.read_text()))
-            for path in sorted(self.root.glob("*.json"))
-        ]
+        """All stored run records, sorted by filename.
+
+        Unparseable files (truncated by a pre-atomic-save crash, or
+        damaged by hand) are skipped with a :class:`StoreWarning`
+        instead of raising — one corrupt file cannot brick the store.
+        """
+        records = []
+        for path in sorted(self.root.glob("*.json")):
+            record = self._load(path)
+            if record is not None:
+                records.append(record)
+        return records
 
     def query(
         self,

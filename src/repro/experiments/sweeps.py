@@ -32,8 +32,20 @@ class SweepResult:
         return {value: float(curve[-1]) for value, curve in self.curves.items()}
 
     def best_value(self):
+        """The swept value with the best final accuracy.
+
+        Ties break toward the smallest value — ``max(key=finals.get)``
+        tie-broke by dict insertion order, so two sweeps over the same
+        values in different orders could disagree.  Values that don't
+        order among themselves (mixed types) keep insertion order.
+        """
         finals = self.finals()
-        return max(finals, key=finals.get)
+        best = max(finals.values())
+        candidates = [value for value, acc in finals.items() if acc == best]
+        try:
+            return min(candidates)
+        except TypeError:
+            return candidates[0]
 
     def spread(self) -> float:
         """Max minus min final accuracy across the sweep (sensitivity)."""
@@ -48,6 +60,35 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def sweep_specs(
+    parameter: str,
+    values: Iterable,
+    dataset: str,
+    partition: str,
+    algorithm: str = "fedavg",
+    preset: ScalePreset = BENCH,
+    seed: int = 0,
+    **fixed,
+) -> dict:
+    """Enumerate a sweep's points as ``value -> RunSpec``, running nothing.
+
+    The validation and derivation half of :func:`sweep`, split out so a
+    scheduler can claim the cells (and so the axis typo check fires
+    before any compute starts).
+    """
+    if parameter == "mu" and algorithm != "fedprox":
+        raise ValueError("sweeping mu requires algorithm='fedprox'")
+    base = RunSpec.build(
+        dataset, partition, algorithm, preset=preset, seed=seed, **fixed
+    )
+    if parameter not in overridable_names() and "." not in parameter:
+        raise KeyError(
+            f"cannot sweep {parameter!r}; sweepable: {list(overridable_names())} "
+            "or section.field paths"
+        )
+    return {value: base.with_overrides(**{parameter: value}) for value in values}
+
+
 def sweep(
     parameter: str,
     values: Iterable,
@@ -57,6 +98,7 @@ def sweep(
     preset: ScalePreset = BENCH,
     seed: int = 0,
     store=None,
+    jobs: int = 1,
     **fixed,
 ) -> SweepResult:
     """Run one experiment per value of ``parameter`` and collect curves.
@@ -76,24 +118,27 @@ def sweep(
         whose spec is already stored are reloaded instead of re-run and
         fresh points are saved, so re-invoking a finished sweep runs
         zero new cells.
+    jobs:
+        Worker processes.  ``jobs > 1`` runs the points through the
+        crash-safe work-stealing scheduler
+        (:func:`~repro.experiments.scheduler.run_cells`) and reloads
+        the curves from the store — identical results to serial, any
+        completion order.  Without a ``store``, a temporary one backs
+        the run.
     fixed:
         Additional fixed arguments forwarded to
         :meth:`~repro.spec.RunSpec.build`.
     """
-    if parameter == "mu" and algorithm != "fedprox":
-        raise ValueError("sweeping mu requires algorithm='fedprox'")
-    base = RunSpec.build(
-        dataset, partition, algorithm, preset=preset, seed=seed, **fixed
+    points = sweep_specs(
+        parameter, values, dataset, partition, algorithm,
+        preset=preset, seed=seed, **fixed,
     )
-    if parameter not in overridable_names() and "." not in parameter:
-        raise KeyError(
-            f"cannot sweep {parameter!r}; sweepable: {list(overridable_names())} "
-            "or section.field paths"
-        )
-
     result = SweepResult(parameter=parameter)
-    for value in values:
-        point = base.with_overrides(**{parameter: value})
+    if jobs > 1:
+        for value, history in _run_scheduled(points, store, jobs).items():
+            result.curves[value] = np.asarray(history.accuracies)
+        return result
+    for value, point in points.items():
         if store is not None and store.completed(point):
             history = store.history(point)
         else:
@@ -103,6 +148,24 @@ def sweep(
             history = outcome.history
         result.curves[value] = np.asarray(history.accuracies)
     return result
+
+
+def _run_scheduled(points: dict, store, jobs: int) -> dict:
+    """Run ``label -> spec`` cells through the scheduler; reload histories."""
+    import tempfile
+
+    from repro.experiments.scheduler import run_cells
+    from repro.experiments.store import ResultStore
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
+        if store is None:
+            store = ResultStore(scratch)
+        run_cells(
+            list(points.values()), store=store, jobs=jobs
+        ).raise_on_failure()
+        return {
+            label: store.history(spec) for label, spec in points.items()
+        }
 
 
 def async_tradeoff(
@@ -115,6 +178,7 @@ def async_tradeoff(
     preset: ScalePreset = BENCH,
     seed: int = 0,
     store=None,
+    jobs: int = 1,
     **fixed,
 ) -> dict:
     """The sync-vs-async study: one barrier baseline, then a buffer sweep.
@@ -126,7 +190,9 @@ def async_tradeoff(
     point is content-addressed and resumable.
 
     Returns a dict with the sync accuracy curve plus, per buffer size,
-    the accuracy curve, mean staleness and final virtual time.
+    the accuracy curve, mean staleness and final virtual time.  With
+    ``jobs > 1`` the baseline and every buffer point run concurrently
+    through the crash-safe scheduler (see :func:`sweep`).
     """
     base = RunSpec.build(
         dataset, partition, algorithm, preset=preset, seed=seed,
@@ -139,32 +205,37 @@ def async_tradeoff(
         base = base.with_overrides(
             sample_fraction=sample_per_round / base.partition.num_parties
         )
+    specs = {"sync": base}
+    for buffer in buffer_sizes:
+        specs[buffer] = base.with_overrides(
+            aggregation="async",
+            buffer_size=buffer,
+            staleness_exponent=staleness_exponent,
+        )
 
-    def run_point(point: RunSpec):
-        if store is not None and store.completed(point):
-            return store.history(point)
-        outcome = run_spec(point)
-        if store is not None:
-            store.save(outcome)
-        return outcome.history
+    if jobs > 1:
+        histories = _run_scheduled(specs, store, jobs)
+    else:
+        def run_point(point: RunSpec):
+            if store is not None and store.completed(point):
+                return store.history(point)
+            outcome = run_spec(point)
+            if store is not None:
+                store.save(outcome)
+            return outcome.history
 
-    sync_history = run_point(base)
+        histories = {label: run_point(point) for label, point in specs.items()}
+
     points = {}
     for buffer in buffer_sizes:
-        history = run_point(
-            base.with_overrides(
-                aggregation="async",
-                buffer_size=buffer,
-                staleness_exponent=staleness_exponent,
-            )
-        )
+        history = histories[buffer]
         points[buffer] = {
             "accuracies": np.asarray(history.accuracies),
             "mean_staleness": history.mean_staleness(),
             "virtual_time": float(history.virtual_times[-1]),
         }
     return {
-        "sync": np.asarray(sync_history.accuracies),
+        "sync": np.asarray(histories["sync"].accuracies),
         "sample_per_round": sample_per_round,
         "staleness_exponent": staleness_exponent,
         "async": points,

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.spec import RunSpec
 from repro.experiments.leaderboard import Leaderboard
-from repro.experiments.runner import run_trials
+from repro.experiments.runner import TrialSummary, run_trials
 from repro.experiments.scale import BENCH, ScalePreset
 
 IMAGE_DATASETS = ("mnist", "fmnist", "cifar10", "svhn")
@@ -59,6 +60,39 @@ def settings_matrix(
     return cells
 
 
+def table3_specs(
+    datasets: Iterable[str] | None = None,
+    partitions: Iterable[str] | None = None,
+    algorithms: Iterable[str] = ALGORITHMS,
+    preset: ScalePreset = BENCH,
+    num_trials: int = 1,
+    base_seed: int = 0,
+    fedprox_mu: float = 0.01,
+) -> dict[tuple[str, str, str], list[RunSpec]]:
+    """Enumerate the selected matrix as specs, without running anything.
+
+    Returns ``(dataset, partition, algorithm) -> [trial specs]`` in
+    matrix order, using exactly the per-cell kwargs and trial seeds
+    :func:`run_table3` executes — the enumeration a scheduler claims
+    cells from, and the key the leaderboard is reassembled under.
+    """
+    cells: dict[tuple[str, str, str], list[RunSpec]] = {}
+    for dataset, partition in settings_matrix(datasets, partitions):
+        for algorithm in algorithms:
+            kwargs = {}
+            if algorithm == "fedprox":
+                kwargs["algorithm_kwargs"] = {"mu": fedprox_mu}
+            if dataset == "femnist":
+                kwargs["dataset_kwargs"] = {"num_writers": 20}
+            base = RunSpec.build(
+                dataset, partition, algorithm, preset=preset, **kwargs
+            )
+            cells[(dataset, partition, algorithm)] = base.trial_specs(
+                num_trials, base_seed=base_seed
+            )
+    return cells
+
+
 def run_table3(
     datasets: Iterable[str] | None = None,
     partitions: Iterable[str] | None = None,
@@ -69,6 +103,7 @@ def run_table3(
     fedprox_mu: float = 0.01,
     store=None,
     progress=None,
+    jobs: int = 1,
 ) -> Leaderboard:
     """Run a slice of the Table 3 matrix and return the leaderboard.
 
@@ -90,7 +125,20 @@ def run_table3(
     progress:
         Optional callback ``(dataset, partition, algorithm, summary)``
         invoked after each cell.
+    jobs:
+        Worker processes for cell-level parallelism.  ``jobs > 1``
+        schedules every (cell, trial) spec through
+        :func:`~repro.experiments.scheduler.run_cells` — workers claim
+        cells via atomic store reservations, records are byte-identical
+        to a ``jobs=1`` run, a killed run resumes by re-invoking, and
+        ``progress`` streams per-cell as each cell's trials land.
+        Without a ``store``, results go to a temporary one.
     """
+    if jobs > 1:
+        return _run_table3_scheduled(
+            datasets, partitions, tuple(algorithms), preset, num_trials,
+            base_seed, fedprox_mu, store, progress, jobs,
+        )
     board = Leaderboard()
     for dataset, partition in settings_matrix(datasets, partitions):
         for algorithm in algorithms:
@@ -112,4 +160,75 @@ def run_table3(
             board.add(summary)
             if progress is not None:
                 progress(dataset, partition, algorithm, summary)
+    return board
+
+
+def _run_table3_scheduled(
+    datasets, partitions, algorithms, preset, num_trials, base_seed,
+    fedprox_mu, store, progress, jobs,
+) -> Leaderboard:
+    """The ``jobs > 1`` path: schedule all (cell, trial) specs at once.
+
+    Parallelism crosses cell boundaries — the work-stealing pool sees
+    one flat list of trial specs, so a 3-trial cell does not serialize
+    behind a barrier.  The leaderboard regenerates live from the store:
+    as the last trial of a cell lands, the cell's summary is read back
+    from saved records and streamed to ``progress``.
+    """
+    import tempfile
+
+    from repro.experiments.scheduler import run_cells
+    from repro.experiments.store import ResultStore
+
+    cells = table3_specs(
+        datasets, partitions, algorithms, preset, num_trials, base_seed,
+        fedprox_mu,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-table3-") as scratch:
+        if store is None:
+            store = ResultStore(scratch)
+        trials_left = {
+            key: {spec.run_id() for spec in specs}
+            for key, specs in cells.items()
+        }
+        cell_of = {
+            spec.run_id(): key
+            for key, specs in cells.items()
+            for spec in specs
+        }
+        board = Leaderboard()
+        announced = set()
+
+        def finish_cell(key) -> None:
+            dataset, partition, algorithm = key
+            summary = TrialSummary(
+                dataset=dataset, partition=partition, algorithm=algorithm
+            )
+            for spec in cells[key]:
+                summary.accuracies.append(
+                    float(store.get(spec)["final_accuracy"])
+                )
+            board.add(summary)
+            announced.add(key)
+            if progress is not None:
+                progress(dataset, partition, algorithm, summary)
+
+        def on_event(event) -> None:
+            if event.kind == "error":
+                return  # surfaced by raise_on_failure below
+            key = cell_of[event.run_id]
+            remaining = trials_left[key]
+            remaining.discard(event.run_id)
+            if not remaining and key not in announced:
+                finish_cell(key)
+
+        all_specs = [spec for specs in cells.values() for spec in specs]
+        run_cells(
+            all_specs, store=store, jobs=jobs, progress=on_event
+        ).raise_on_failure()
+        # Belt and braces: a cell whose events were lost with a killed
+        # worker is still complete in the store.
+        for key in cells:
+            if key not in announced:
+                finish_cell(key)
     return board

@@ -519,6 +519,24 @@ class RunSpec:
             )
         return dataclasses.replace(self, **replacements)
 
+    def trial_specs(
+        self, num_trials: int, base_seed: int = 0, seed_stride: int = 1000
+    ) -> list["RunSpec"]:
+        """The paper's repeated-trial protocol as concrete specs.
+
+        Pure enumeration — nothing runs.  Trial ``t`` is this spec with
+        ``seed = base_seed + seed_stride * t``, exactly the seeds
+        :func:`repro.experiments.runner.run_trials` executes, so a
+        scheduler can claim the cells, and the store can answer
+        ``completed()`` per trial, without ever touching the runner.
+        """
+        if num_trials <= 0:
+            raise ValueError(f"num_trials must be positive, got {num_trials}")
+        return [
+            self.with_overrides(seed=base_seed + seed_stride * trial)
+            for trial in range(num_trials)
+        ]
+
     # -- validation ------------------------------------------------------
 
     def validate(self) -> "RunSpec":

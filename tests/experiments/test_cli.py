@@ -203,3 +203,67 @@ class TestNewCommands:
         )
         assert code == 0
         assert target.exists()
+
+
+@pytest.mark.concurrent
+class TestJobsFlag:
+    def test_table3_jobs_without_store_uses_scratch(self, capsys):
+        code = main(
+            [
+                "table3",
+                "--datasets", "adult",
+                "--partitions", "iid",
+                "--algs", "fedavg",
+                "--preset", "smoke",
+                "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adult / iid / fedavg:" in out
+        assert "wins:" in out
+
+    def test_table3_jobs_store_resume_after_kill_shape(self, capsys, tmp_path):
+        """Invoke, then re-invoke against the same store: the second pass
+        reads everything back (the CLI shape of resume-after-kill)."""
+        args = [
+            "table3",
+            "--datasets", "adult",
+            "--partitions", "iid",
+            "--algs", "fedavg", "fedprox",
+            "--preset", "smoke",
+            "--store", str(tmp_path / "runs"),
+            "--jobs", "2",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        import pathlib
+
+        files = {
+            p.name: p.read_bytes()
+            for p in pathlib.Path(tmp_path / "runs").glob("*.json")
+        }
+        assert len(files) == 2
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert {
+            p.name: p.read_bytes()
+            for p in pathlib.Path(tmp_path / "runs").glob("*.json")
+        } == files
+        assert first.splitlines()[-2:] == second.splitlines()[-2:]
+
+    def test_trials_jobs(self, capsys, tmp_path):
+        code = main(
+            [
+                "trials",
+                "--dataset", "adult",
+                "--partition", "iid",
+                "--alg", "fedavg",
+                "--preset", "smoke",
+                "-n", "2",
+                "--jobs", "2",
+                "--store", str(tmp_path / "runs"),
+            ]
+        )
+        assert code == 0
+        assert "adult / iid / fedavg:" in capsys.readouterr().out

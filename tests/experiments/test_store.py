@@ -1,10 +1,12 @@
 """Tests for the experiment result store."""
 
+import json
+
 import pytest
 
 from repro.experiments import run_federated_experiment
 from repro.experiments.scale import SMOKE
-from repro.experiments.store import ResultStore, outcome_to_dict
+from repro.experiments.store import ResultStore, StoreWarning, outcome_to_dict
 
 
 @pytest.fixture(scope="module")
@@ -147,6 +149,69 @@ class TestContentAddressing:
         store.save(outcome)
         (spec,) = store.specs()
         assert spec == outcome.spec
+
+
+class TestRobustness:
+    """One corrupt or half-written file cannot brick the store."""
+
+    def test_save_is_atomic_no_temp_visible(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(outcome)
+        # The tmp sibling was replaced away; only the record remains.
+        assert [p.name for p in store.root.iterdir()] == [path.name]
+
+    def test_records_skip_and_warn_on_corrupt_file(self, outcome, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(outcome)
+        # A truncated write from the pre-atomic era / a damaged disk.
+        (tmp_path / "zz_truncated__0000000000000000.json").write_text(
+            '{"dataset": "adult", "final_accu'
+        )
+        with pytest.warns(StoreWarning, match="zz_truncated"):
+            records = store.records()
+        assert len(records) == 1
+        assert records[0]["run_id"] == outcome.spec.run_id()
+
+    def test_corrupt_direct_hit_falls_back_to_rerunnable_miss(
+        self, outcome, tmp_path
+    ):
+        store = ResultStore(tmp_path)
+        path = store.save(outcome)
+        path.write_text("not json at all")
+        with pytest.warns(StoreWarning):
+            assert store.get(outcome.spec) is None
+        # The cell reads as not-completed, so a sweep re-runs and the
+        # atomic save overwrites the damage.
+        with pytest.warns(StoreWarning):
+            assert not store.completed(outcome.spec)
+        store.save(outcome)
+        assert store.completed(outcome.spec)
+
+    def test_miss_never_parses_canonical_records(self, outcome, tmp_path):
+        """The resume path is O(legacy files), not O(store size): a miss
+        globs for the run_id suffix and only opens files whose names
+        carry no hash — re-checking a fresh N-cell matrix stays O(N),
+        not O(N²) JSON loads."""
+        store = ResultStore(tmp_path)
+        store.save(outcome)
+        legacy = outcome_to_dict(outcome)
+        del legacy["spec"], legacy["run_id"]
+        (tmp_path / "legacy__by__hand__1.json").write_text(json.dumps(legacy))
+
+        opened = []
+        original = ResultStore._load
+
+        def counting_load(self, path):
+            opened.append(path.name)
+            return original(self, path)
+
+        ResultStore._load = counting_load
+        try:
+            miss = outcome.spec.with_overrides(seed=999)
+            assert store.get(miss) is None
+        finally:
+            ResultStore._load = original
+        assert opened == ["legacy__by__hand__1.json"]
 
 
 class TestLegacyRecords:

@@ -24,6 +24,24 @@ class TestSweepResult:
     def test_best_value(self):
         assert self.make().best_value() == 0.1
 
+    def test_best_value_tie_breaks_to_smallest_value(self):
+        # Insertion order used to decide ties, so two sweeps over the
+        # same values in different orders could name different winners.
+        result = SweepResult(parameter="lr")
+        result.curves[0.1] = np.array([0.2, 0.6])
+        result.curves[0.01] = np.array([0.3, 0.6])
+        assert result.best_value() == 0.01
+        reordered = SweepResult(parameter="lr")
+        reordered.curves[0.01] = np.array([0.3, 0.6])
+        reordered.curves[0.1] = np.array([0.2, 0.6])
+        assert reordered.best_value() == 0.01
+
+    def test_best_value_tie_with_unorderable_values_keeps_order(self):
+        result = SweepResult(parameter="codec")
+        result.curves["topk"] = np.array([0.6])
+        result.curves[8] = np.array([0.6])
+        assert result.best_value() == "topk"
+
     def test_spread(self):
         assert self.make().spread() == pytest.approx(0.1)
 
@@ -98,3 +116,58 @@ class TestSweepResume:
         assert len(store) == 1
         sweep("local_epochs", [1, 2], "adult", "iid", preset=TINY, seed=1, store=store)
         assert len(store) == 2
+
+
+class TestSweepSpecs:
+    def test_enumeration_runs_nothing(self, monkeypatch):
+        from repro.experiments import sweeps as sweeps_module
+        from repro.experiments.sweeps import sweep_specs
+
+        def _boom(spec, resume=None):
+            raise AssertionError("sweep_specs executed a cell")
+
+        monkeypatch.setattr(sweeps_module, "run_spec", _boom)
+        points = sweep_specs("local_epochs", [1, 2], "adult", "iid", preset=TINY)
+        assert [p.train.local_epochs for p in points.values()] == [1, 2]
+        assert len({p.run_id() for p in points.values()}) == 2
+
+    def test_typo_fails_before_any_compute(self):
+        from repro.experiments.sweeps import sweep_specs
+
+        with pytest.raises(KeyError, match="dropout_prob"):
+            sweep_specs("dropout", [0.1], "adult", "iid", preset=TINY)
+
+
+@pytest.mark.concurrent
+class TestScheduledSweeps:
+    def test_parallel_sweep_matches_serial(self, tmp_path):
+        from repro.experiments.scheduler import fork_available
+        from repro.experiments.store import ResultStore
+
+        if not fork_available():
+            pytest.skip("requires fork")
+        serial = sweep("local_epochs", [1, 2], "adult", "iid", preset=TINY, seed=1)
+        parallel = sweep(
+            "local_epochs", [1, 2], "adult", "iid", preset=TINY, seed=1,
+            store=ResultStore(tmp_path), jobs=2,
+        )
+        for value in (1, 2):
+            assert np.array_equal(serial.curves[value], parallel.curves[value])
+
+    def test_parallel_async_tradeoff_matches_serial(self, tmp_path):
+        from repro.experiments.scheduler import fork_available
+        from repro.experiments.sweeps import async_tradeoff
+
+        if not fork_available():
+            pytest.skip("requires fork")
+        kwargs = dict(
+            buffer_sizes=(1, 2), sample_per_round=4, preset=TINY, seed=1
+        )
+        serial = async_tradeoff("adult", "iid", **kwargs)
+        parallel = async_tradeoff("adult", "iid", jobs=2, **kwargs)
+        assert np.array_equal(serial["sync"], parallel["sync"])
+        for buffer in (1, 2):
+            assert np.array_equal(
+                serial["async"][buffer]["accuracies"],
+                parallel["async"][buffer]["accuracies"],
+            )

@@ -83,3 +83,64 @@ class TestRunTable3:
         monkeypatch.setattr(runner_module, "run_spec", _boom)
         again = run_table3(**slice_kwargs)
         assert again.ranking("adult", "iid") == first.ranking("adult", "iid")
+
+
+class TestTable3Specs:
+    def test_enumeration_matches_protocol(self):
+        from repro.experiments.table3 import table3_specs
+
+        cells = table3_specs(
+            datasets=["adult"], partitions=["iid"],
+            algorithms=("fedavg", "fedprox"), preset=SMOKE, num_trials=2,
+        )
+        assert list(cells) == [
+            ("adult", "iid", "fedavg"), ("adult", "iid", "fedprox")
+        ]
+        for specs in cells.values():
+            assert [s.seed for s in specs] == [0, 1000]
+        fedprox = cells[("adult", "iid", "fedprox")][0]
+        assert fedprox.algorithm.kwargs == {"mu": 0.01}
+
+
+@pytest.mark.concurrent
+class TestTable3Scheduled:
+    def test_jobs_matches_serial_and_resumes(self, tmp_path, monkeypatch):
+        from repro.experiments import runner as runner_module
+        from repro.experiments import scheduler as scheduler_module
+        from repro.experiments.scheduler import fork_available
+        from repro.experiments.store import ResultStore
+
+        if not fork_available():
+            pytest.skip("requires fork")
+        slice_kwargs = dict(
+            datasets=["adult"], partitions=["iid"],
+            algorithms=("fedavg", "fedprox"), preset=SMOKE, num_trials=2,
+        )
+        serial_store = ResultStore(tmp_path / "serial")
+        serial = run_table3(store=serial_store, **slice_kwargs)
+
+        parallel_store = ResultStore(tmp_path / "parallel")
+        seen = []
+        parallel = run_table3(
+            store=parallel_store, jobs=2,
+            progress=lambda d, p, a, s: seen.append((d, p, a)),
+            **slice_kwargs,
+        )
+        assert parallel.ranking("adult", "iid") == serial.ranking("adult", "iid")
+        assert sorted(seen) == [
+            ("adult", "iid", "fedavg"), ("adult", "iid", "fedprox")
+        ]
+        # Per-record byte identity between --jobs 1 and --jobs 4 stores.
+        assert {
+            p.name: p.read_bytes() for p in serial_store.root.glob("*.json")
+        } == {
+            p.name: p.read_bytes() for p in parallel_store.root.glob("*.json")
+        }
+
+        def _boom(spec, resume=None):
+            raise AssertionError("stored Table 3 cell re-ran")
+
+        monkeypatch.setattr(runner_module, "run_spec", _boom)
+        monkeypatch.setattr(scheduler_module, "run_spec", _boom)
+        again = run_table3(store=parallel_store, jobs=2, **slice_kwargs)
+        assert again.ranking("adult", "iid") == serial.ranking("adult", "iid")

@@ -428,6 +428,47 @@ def check_round_record_dicts(path: Path = HISTORY_FILE) -> list[str]:
     return problems
 
 
+#: path fragments that are build/run artifacts, never source: a tracked
+#: match means someone `git add`-ed cache or output files (PR 7 shipped
+#: 75 .pyc files this way).  Checked against `git ls-files`.
+def _is_tracked_artifact(path: str) -> bool:
+    if "__pycache__/" in path or path.endswith((".pyc", ".pyo")):
+        return True
+    # Root-level results/ is the default ResultStore target; the curated
+    # golden outputs under benchmarks/results/ are tracked on purpose.
+    if path.startswith("results/"):
+        return True
+    name = path.rsplit("/", 1)[-1]
+    return name.startswith("BENCH_") and name.endswith(".tmp")
+
+
+def check_tracked_artifacts(repo_root: Path = Path(".")) -> list[str]:
+    """Fail if cache/output artifacts are committed to git.
+
+    Artifacts regenerate on every run, so a tracked copy is pure diff
+    noise that goes stale immediately — and .pyc files additionally pin
+    one interpreter's bytecode.  Outside a git checkout (or without git
+    on the PATH) the check skips silently: there is nothing tracked to
+    police.
+    """
+    git = shutil.which("git")
+    if git is None:
+        return []
+    proc = subprocess.run(
+        [git, "-C", str(repo_root), "ls-files"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:  # not a git repo
+        return []
+    return [
+        f"{repo_root / path}: tracked build artifact; `git rm --cached` it "
+        "(and keep it in .gitignore)"
+        for path in proc.stdout.splitlines()
+        if _is_tracked_artifact(path)
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     roots = (argv if argv is not None else sys.argv[1:]) or ["src", "tests"]
     code = _try_external(roots)
@@ -438,6 +479,7 @@ def main(argv: list[str] | None = None) -> int:
         + check_executor_registry()
         + check_event_registry()
         + check_round_record_dicts()
+        + check_tracked_artifacts()
     )
     for problem in structural_problems:
         print(problem)
