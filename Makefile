@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-stacked test-async test-concurrent lint bench bench-smoke
+.PHONY: test test-fast test-stacked test-async test-concurrent test-capture lint bench bench-smoke
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,11 @@ test-async:
 test-concurrent:
 	$(PYTHON) -m pytest -x -q -m concurrent
 
+# Just the capture-engine optimizer: arena planner, dead-op elimination,
+# optimizer-on/off bitwise differentials, and the build cache.
+test-capture:
+	$(PYTHON) -m pytest -x -q -m capture
+
 # Uses ruff or pyflakes when installed; otherwise a stdlib AST fallback.
 lint:
 	$(PYTHON) tools/lint.py src tests
@@ -32,5 +37,6 @@ bench:
 
 # Seconds-scale sanity pass over every bench section; deliberately not
 # part of `make test` — it proves the benchmarks run, not the numbers.
+# Also guards the hot-path wall times against the committed baseline.
 bench-smoke:
-	$(PYTHON) -m repro.experiments.bench --smoke --output BENCH_smoke.json
+	$(PYTHON) -m repro.experiments.bench --smoke --output BENCH_smoke.json --check-baseline BENCH_core.json

@@ -203,6 +203,12 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         help="capture & replay training steps (bitwise-identical, faster)",
     )
     parser.add_argument(
+        "--optimize", action=argparse.BooleanOptionalAction, default=True,
+        help="program optimizer for captured steps (arena planning, "
+             "dead-op elimination; bitwise-identical, on by default — "
+             "--no-optimize replays the unoptimized programs)",
+    )
+    parser.add_argument(
         "--population", type=int, default=None, metavar="N",
         help="virtual federation of N lazily-derived parties (flat memory; "
              "--partition is then ignored; --dataset/--alg default to "
@@ -271,6 +277,7 @@ def _build_kwargs(args) -> dict:
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_path,
         compile=args.compile,
+        optimize=args.optimize,
         population=args.population,
         sample_per_round=args.sample_per_round,
         samples_per_client=args.samples_per_client,

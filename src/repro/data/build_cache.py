@@ -1,0 +1,321 @@
+"""Content-addressed build cache for datasets and partitions.
+
+Every Table-3 cell starts by generating its dataset and drawing its
+partition, and both are pure functions of ``(dataset, partition, seed)``
+— so a sweep of hundreds of cells rebuilds the same handful of arrays
+hundreds of times.  This module memoizes those builds:
+
+- **In-process**: one memo per build key.  Repeated cells in the same
+  worker (or a ``--jobs 1`` sweep) construct each dataset and partition
+  exactly once.
+- **On disk** (optional): when a spill directory is set — the scheduler
+  points it at ``<store>/.build_cache`` — dataset arrays are written as
+  ``.npy`` files under a content-addressed subdirectory, so worker
+  processes and *re-invoked* sweeps ``np.load(..., mmap_mode="r")`` the
+  bytes instead of regenerating them.
+
+Cached arrays are marked read-only (mmap-backed loads already are): the
+training stack only ever fancy-indexes or copies out of the base
+arrays, and a stray in-place write should fail loudly rather than
+corrupt every cell sharing the cache.  Spills are atomic (tmp directory
++ ``os.replace``), so a crashed worker can never publish a torn entry.
+
+Partitions carrying ``feature_transforms`` (noise-based feature skew)
+hold per-party closures, which have no array serialization — they stay
+memoized in-process but are never spilled.
+
+Hit/miss counters are cheap, process-local, and surfaced per cell by
+the scheduler (see :class:`repro.experiments.scheduler.MatrixReport`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import threading
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DatasetInfo
+
+_lock = threading.RLock()
+_dataset_memo: dict[str, tuple] = {}
+_partition_memo: dict[str, object] = {}
+_spill_dir: Path | None = None
+
+#: in-process memo cap (insertion-ordered eviction).  Sweeps cycle over
+#: a handful of datasets; anything evicted is still served by the disk
+#: spill, so this only bounds resident memory, never correctness.
+_MEMO_MAX_ENTRIES = 32
+
+
+def _memo_put(memo: dict, key: str, value) -> None:
+    memo[key] = value
+    while len(memo) > _MEMO_MAX_ENTRIES:
+        memo.pop(next(iter(memo)))
+
+#: process-local build counters; ``dataset_misses`` counts actual
+#: regenerations (the expensive thing the cache exists to avoid).
+_STAT_NAMES = (
+    "dataset_hits",
+    "dataset_disk_hits",
+    "dataset_misses",
+    "partition_hits",
+    "partition_misses",
+)
+_stats = dict.fromkeys(_STAT_NAMES, 0)
+
+
+def stats() -> dict:
+    """A snapshot of the counters (copies; safe to diff across calls)."""
+    with _lock:
+        return dict(_stats)
+
+
+def stats_delta(before: dict, after: dict) -> dict:
+    """Counter-wise ``after - before``, dropping all-zero entries."""
+    out = {}
+    for name in _STAT_NAMES:
+        diff = after.get(name, 0) - before.get(name, 0)
+        if diff:
+            out[name] = diff
+    return out
+
+
+def set_spill_dir(path) -> Path | None:
+    """Enable (or with None, disable) the on-disk spill; returns it."""
+    global _spill_dir
+    with _lock:
+        _spill_dir = None if path is None else Path(path)
+        return _spill_dir
+
+
+def spill_dir() -> Path | None:
+    return _spill_dir
+
+
+def reset(spill_dir: bool = True) -> None:
+    """Clear memos and counters (tests; workers inherit a clean slate)."""
+    global _spill_dir
+    with _lock:
+        _dataset_memo.clear()
+        _partition_memo.clear()
+        for name in _STAT_NAMES:
+            _stats[name] = 0
+        if spill_dir:
+            _spill_dir = None
+
+
+# -- keys ----------------------------------------------------------------
+
+
+def _digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+def dataset_key(name: str, seed: int, kwargs: dict | None = None) -> str:
+    """Content key for one dataset build (generator inputs, canonical)."""
+    return _digest(
+        {
+            "kind": "dataset",
+            "name": str(name).lower().replace("-", ""),
+            "seed": int(seed),
+            "kwargs": dict(kwargs or {}),
+        }
+    )
+
+
+def partition_key(
+    dataset_key_: str, strategy: str, num_parties: int, seed: int
+) -> str:
+    """Content key for one partition draw over a cached dataset."""
+    return _digest(
+        {
+            "kind": "partition",
+            "dataset": dataset_key_,
+            "strategy": str(strategy),
+            "num_parties": int(num_parties),
+            "seed": int(seed),
+        }
+    )
+
+
+# -- datasets ------------------------------------------------------------
+
+
+def _freeze(arr: np.ndarray | None) -> np.ndarray | None:
+    if arr is not None and arr.flags.writeable:
+        arr.setflags(write=False)
+    return arr
+
+
+def _freeze_dataset(ds: ArrayDataset) -> ArrayDataset:
+    _freeze(ds.features)
+    _freeze(ds.labels)
+    _freeze(ds.groups)
+    return ds
+
+
+def _entry_dir(key: str) -> Path | None:
+    return None if _spill_dir is None else _spill_dir / key
+
+
+def _save_array_dir(path: Path, prefix: str, ds: ArrayDataset) -> dict:
+    np.save(path / f"{prefix}_features.npy", ds.features)
+    np.save(path / f"{prefix}_labels.npy", ds.labels)
+    meta = {"groups": ds.groups is not None}
+    if ds.groups is not None:
+        np.save(path / f"{prefix}_groups.npy", ds.groups)
+    return meta
+
+
+def _load_array_dir(path: Path, prefix: str, meta: dict) -> ArrayDataset:
+    def load(stem):
+        return np.load(path / f"{stem}.npy", mmap_mode="r")
+
+    groups = load(f"{prefix}_groups") if meta["groups"] else None
+    return ArrayDataset(load(f"{prefix}_features"), load(f"{prefix}_labels"), groups)
+
+
+def _spill_dataset(key: str, train, test, info) -> None:
+    entry = _entry_dir(key)
+    if entry is None or entry.exists():
+        return
+    try:
+        info_payload = json.dumps(asdict(info))
+    except (TypeError, ValueError):
+        return  # non-JSON info extras: memo-only for this dataset
+    entry.parent.mkdir(parents=True, exist_ok=True)
+    tmp = entry.parent / f".tmp-{key}-{os.getpid()}"
+    try:
+        tmp.mkdir()
+        meta = {
+            "train": _save_array_dir(tmp, "train", train),
+            "test": _save_array_dir(tmp, "test", test),
+            "info": json.loads(info_payload),
+        }
+        (tmp / "meta.json").write_text(json.dumps(meta))
+        os.replace(tmp, entry)
+    except OSError:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _unspill_dataset(key: str):
+    entry = _entry_dir(key)
+    if entry is None:
+        return None
+    try:
+        meta = json.loads((entry / "meta.json").read_text())
+        train = _load_array_dir(entry, "train", meta["train"])
+        test = _load_array_dir(entry, "test", meta["test"])
+        info_fields = dict(meta["info"])
+        info_fields["input_shape"] = tuple(info_fields["input_shape"])
+        info = DatasetInfo(**info_fields)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None  # absent or torn entry: fall through to a rebuild
+    return train, test, info
+
+
+def cached_dataset(key: str, builder):
+    """``builder()``'s ``(train, test, info)``, built at most once per key.
+
+    Lookup order: in-process memo, then the disk spill (mmap), then the
+    builder — whose result is frozen, memoized, and spilled.
+    """
+    with _lock:
+        hit = _dataset_memo.get(key)
+        if hit is not None:
+            _stats["dataset_hits"] += 1
+            return hit
+        loaded = _unspill_dataset(key)
+        if loaded is not None:
+            _stats["dataset_disk_hits"] += 1
+            _memo_put(_dataset_memo, key, loaded)
+            return loaded
+        _stats["dataset_misses"] += 1
+        train, test, info = builder()
+        built = (_freeze_dataset(train), _freeze_dataset(test), info)
+        _memo_put(_dataset_memo, key, built)
+        _spill_dataset(key, *built)
+        return built
+
+
+# -- partitions ----------------------------------------------------------
+
+
+def _spill_partition(key: str, partition) -> None:
+    entry = _entry_dir(key)
+    if entry is None or entry.exists() or partition.feature_transforms is not None:
+        return
+    entry.parent.mkdir(parents=True, exist_ok=True)
+    tmp = entry.parent / f".tmp-{key}-{os.getpid()}"
+    try:
+        tmp.mkdir()
+        for party, idx in enumerate(partition.indices):
+            np.save(tmp / f"party_{party}.npy", idx)
+        np.save(tmp / "unassigned.npy", partition.unassigned)
+        meta = {
+            "num_parties": partition.num_parties,
+            "strategy": partition.strategy,
+        }
+        (tmp / "meta.json").write_text(json.dumps(meta))
+        os.replace(tmp, entry)
+    except OSError:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _unspill_partition(key: str):
+    from repro.partition.base import Partition
+
+    entry = _entry_dir(key)
+    if entry is None:
+        return None
+    try:
+        meta = json.loads((entry / "meta.json").read_text())
+        indices = [
+            np.load(entry / f"party_{party}.npy")
+            for party in range(int(meta["num_parties"]))
+        ]
+        unassigned = np.load(entry / "unassigned.npy")
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    return Partition(
+        indices=indices, unassigned=unassigned, strategy=meta["strategy"]
+    )
+
+
+def cached_partition(key: str, builder):
+    """``builder()``'s :class:`Partition`, drawn at most once per key."""
+    with _lock:
+        hit = _partition_memo.get(key)
+        if hit is not None:
+            _stats["partition_hits"] += 1
+            return hit
+        loaded = _unspill_partition(key)
+        if loaded is not None:
+            _stats["partition_hits"] += 1
+            _memo_put(_partition_memo, key, loaded)
+            return loaded
+        _stats["partition_misses"] += 1
+        partition = builder()
+        _memo_put(_partition_memo, key, partition)
+        _spill_partition(key, partition)
+        return partition
+
+
+__all__ = [
+    "cached_dataset",
+    "cached_partition",
+    "dataset_key",
+    "partition_key",
+    "set_spill_dir",
+    "spill_dir",
+    "stats",
+    "stats_delta",
+    "reset",
+]

@@ -48,6 +48,7 @@ def load_dataset(
     n_test: int | None = None,
     seed: int = 0,
     paper_scale: bool = False,
+    cache: bool = False,
     **kwargs,
 ) -> tuple[ArrayDataset, ArrayDataset, DatasetInfo]:
     """Load (generate) a dataset by its paper name.
@@ -61,6 +62,12 @@ def load_dataset(
     paper_scale:
         Use the original Table 2 sizes instead (overridden by explicit
         ``n_train``/``n_test``).
+    cache:
+        Serve the build through :mod:`repro.data.build_cache`: memoized
+        in-process per ``(name, sizes, seed, kwargs)`` and, when a spill
+        directory is configured (the sweep scheduler does), mmapped from
+        ``.npy`` files instead of regenerated.  Cached arrays are
+        read-only.
     kwargs:
         Forwarded to the generator (e.g. ``num_writers`` for femnist,
         ``num_features`` for rcv1).
@@ -79,6 +86,13 @@ def load_dataset(
         kwargs["n_train"] = n_train
     if n_test is not None:
         kwargs["n_test"] = n_test
+    if cache:
+        from repro.data import build_cache
+
+        key = build_cache.dataset_key(name, seed, kwargs)
+        return build_cache.cached_dataset(
+            key, lambda: generator(seed=seed, **kwargs)
+        )
     return generator(seed=seed, **kwargs)
 
 

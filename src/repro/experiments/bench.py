@@ -324,6 +324,48 @@ def bench_stacked_replay(
     return rows
 
 
+def bench_arena_plan(seed: int = 0, stack: int = 16) -> list[dict]:
+    """Arena-planner statistics for the bench programs (no timing).
+
+    Compiles each program with the optimizer on and off and reports the
+    planner's own accounting (see
+    :class:`~repro.grad.capture.ArenaPlanStats`): peak planned arena
+    bytes vs the unplanned one-buffer-per-op arena, slot counts, and
+    dead ops eliminated.  ``reduction`` is the headline number — the
+    fraction of managed arena bytes the liveness coloring removed.
+    """
+    from repro.grad.capture import CaptureError, stacked_engine
+
+    def train_stats(name):
+        model, features, labels = _step_fixture(name, seed=seed)
+        model.train()
+        engine = training_engine(model)
+        engine.step(features, labels)
+        (program,) = engine.programs.values()
+        return program.stats
+
+    def stacked_stats(name):
+        model, features, labels = _step_fixture(name, seed=seed)
+        try:
+            program = stacked_engine(model).program(
+                stack, np.zeros_like(features), np.zeros(labels.shape, np.int64)
+            )
+        except CaptureError:
+            return None
+        return program.stats
+
+    rows = []
+    for name in ("mlp", "cnn"):
+        for label, stats in (
+            (f"{name}-train", train_stats(name)),
+            (f"{name}-stacked-k{stack}", stacked_stats(name)),
+        ):
+            if stats is None:
+                continue
+            rows.append({"program": label, **stats.to_dict()})
+    return rows
+
+
 def bench_eval_fastpath(repeats: int = 3, seed: int = 0, n_test: int = 512) -> dict:
     """Two-pass vs fused vs captured-replay evaluation of the bench CNN."""
     _, test, info = load_dataset("mnist", n_train=64, n_test=n_test, seed=seed)
@@ -678,6 +720,9 @@ def run_benchmarks(
             steps=3 if smoke else 10,
             stack_sizes=(1, 4) if smoke else BENCH_STACK_SIZES,
         ),
+        # Deterministic planner accounting, not a timing: identical in
+        # smoke and full runs.
+        "arena_plan": bench_arena_plan(seed=seed),
         "eval_fastpath": bench_eval_fastpath(
             repeats=repeats if smoke else max(repeats, 3),
             seed=seed,
@@ -711,10 +756,54 @@ def run_benchmarks(
     return report
 
 
+#: wall-time regression tolerance for --check-baseline: smoke runs use
+#: best-of-1 timings on a shared host, so only a multiple-of-baseline
+#: slowdown is a signal rather than noise.
+BASELINE_TOLERANCE = 2.5
+
+
+def check_baseline(report: dict, baseline: dict, tolerance: float = BASELINE_TOLERANCE):
+    """Wall-time regressions of ``report`` vs a committed baseline.
+
+    Compares the hot-path timings — ``compiled_step`` seconds per step
+    and ``stacked_replay`` seconds per step — row by row, and returns a
+    list of violation strings (empty = no regression beyond
+    ``tolerance``x the committed number).
+    """
+    problems = []
+
+    def compare(section, key_fields, value_field):
+        old_rows = {
+            tuple(row[field] for field in key_fields): row
+            for row in baseline.get(section, [])
+        }
+        for row in report.get(section, []):
+            key = tuple(row[field] for field in key_fields)
+            old = old_rows.get(key)
+            if old is None:
+                continue
+            now, then = row[value_field], old[value_field]
+            if then > 0 and now > then * tolerance:
+                label = "/".join(str(part) for part in key)
+                problems.append(
+                    f"{section}[{label}].{value_field}: {now:.6f}s vs "
+                    f"baseline {then:.6f}s (tolerance {tolerance:g}x)"
+                )
+
+    compare("compiled_step", ("model",), "compiled_seconds_per_step")
+    compare("stacked_replay", ("model", "stack_size"), "seconds_per_step")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output", default=DEFAULT_OUTPUT, help="where to write the JSON report"
+    )
+    parser.add_argument(
+        "--check-baseline", default=None, metavar="JSON",
+        help="fail if compiled_step/stacked_replay wall times regress "
+             f"beyond {BASELINE_TOLERANCE:g}x this committed report",
     )
     parser.add_argument(
         "--repeats", type=int, default=2, help="timing repeats (best-of)"
@@ -737,6 +826,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+    if args.check_baseline is not None:
+        baseline = json.loads(Path(args.check_baseline).read_text())
+        problems = check_baseline(report, baseline)
+        for problem in problems:
+            print(f"BASELINE REGRESSION: {problem}")
+        if problems:
+            return 1
+        print(f"baseline check OK ({args.check_baseline})")
     return 0
 
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.data import load_dataset
+from repro.data import build_cache, load_dataset
 from repro.data.dataset import DatasetInfo
 from repro.federated import (
     AsyncFederation,
@@ -120,11 +120,23 @@ def run_spec(spec: RunSpec, resume: str | None = None) -> ExperimentOutcome:
         dataset_kwargs["n_train"] = spec.data.n_train
     if spec.data.n_test is not None:
         dataset_kwargs["n_test"] = spec.data.n_test
-    train, test, info = load_dataset(spec.data.name, seed=spec.seed, **dataset_kwargs)
+    train, test, info = load_dataset(
+        spec.data.name, seed=spec.seed, cache=True, **dataset_kwargs
+    )
 
-    partition_rng = np.random.default_rng(spec.seed + 17)
-    partition_result = partitioner.partition(
-        train, spec.partition.num_parties, partition_rng
+    # The partition draw is a pure function of (dataset, strategy, seed),
+    # so it shares the build cache; a cache hit skips the rng draw but is
+    # bitwise-identical to it by determinism.
+    partition_result = build_cache.cached_partition(
+        build_cache.partition_key(
+            build_cache.dataset_key(spec.data.name, spec.seed, dataset_kwargs),
+            spec.partition.strategy,
+            spec.partition.num_parties,
+            spec.seed + 17,
+        ),
+        lambda: partitioner.partition(
+            train, spec.partition.num_parties, np.random.default_rng(spec.seed + 17)
+        ),
     )
     clients = make_clients(partition_result, train, seed=spec.seed + 29, drop_empty=True)
 
@@ -179,6 +191,7 @@ def _config_from_spec(spec: RunSpec) -> FederatedConfig:
         checkpoint_every=spec.exec.checkpoint_every,
         checkpoint_path=spec.exec.checkpoint_path,
         compile=spec.exec.compile,
+        optimize=spec.exec.optimize,
         eval_every=spec.train.eval_every,
         aggregation=spec.population.aggregation,
         sample_per_round=spec.population.sample_per_round,
@@ -206,7 +219,9 @@ def _run_population_spec(spec: RunSpec, resume: str | None) -> ExperimentOutcome
         dataset_kwargs["n_train"] = spec.data.n_train
     if spec.data.n_test is not None:
         dataset_kwargs["n_test"] = spec.data.n_test
-    train, test, info = load_dataset(spec.data.name, seed=spec.seed, **dataset_kwargs)
+    train, test, info = load_dataset(
+        spec.data.name, seed=spec.seed, cache=True, **dataset_kwargs
+    )
 
     partition_result: Partition | None = None
     if spec.population.size is not None:
@@ -224,9 +239,18 @@ def _run_population_spec(spec: RunSpec, resume: str | None) -> ExperimentOutcome
         )
     else:
         partitioner = parse_strategy(spec.partition.strategy)
-        partition_rng = np.random.default_rng(spec.seed + 17)
-        partition_result = partitioner.partition(
-            train, spec.partition.num_parties, partition_rng
+        partition_result = build_cache.cached_partition(
+            build_cache.partition_key(
+                build_cache.dataset_key(spec.data.name, spec.seed, dataset_kwargs),
+                spec.partition.strategy,
+                spec.partition.num_parties,
+                spec.seed + 17,
+            ),
+            lambda: partitioner.partition(
+                train,
+                spec.partition.num_parties,
+                np.random.default_rng(spec.seed + 17),
+            ),
         )
         clients = make_clients(
             partition_result, train, seed=spec.seed + 29, drop_empty=True

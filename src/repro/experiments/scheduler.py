@@ -45,12 +45,17 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro.data import build_cache
 from repro.spec import RunSpec
 from repro.experiments.runner import run_spec
 from repro.experiments.store import ResultStore
 
 #: subdirectory of the store root holding claim and error-marker files.
 CLAIMS_DIR = ".claims"
+
+#: subdirectory of the store root where dataset/partition builds spill
+#: as mmap-able ``.npy`` files (see :mod:`repro.data.build_cache`).
+BUILD_CACHE_DIR = ".build_cache"
 
 #: seconds between heartbeat refreshes while a worker trains a cell.
 DEFAULT_HEARTBEAT_EVERY = 1.0
@@ -75,6 +80,9 @@ class CellEvent:
     final_accuracy: float | None = None
     worker: int = 0
     error: str | None = None
+    #: build-cache counter deltas for this cell (None for "cached" cells,
+    #: which never touch the dataset builders)
+    build_cache: dict | None = None
 
 
 @dataclass
@@ -89,6 +97,10 @@ class MatrixReport:
     #: by a live foreign claim, or owned by a worker that died after the
     #: survivors exited) — re-invoking picks them up
     incomplete: list[str] = field(default_factory=list)
+    #: dataset/partition build counters summed over this invocation's
+    #: cells (``dataset_misses`` = actual regenerations; a re-invoked
+    #: sweep over spilled builds shows zero)
+    build_cache: dict = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -236,7 +248,11 @@ def _dedupe(specs) -> list[RunSpec]:
 
 
 def _run_one(store: ResultStore, spec: RunSpec, heartbeat_every: float):
-    """Train one claimed cell with a live heartbeat, then publish it."""
+    """Train one claimed cell with a live heartbeat, then publish it.
+
+    Returns ``(outcome, build_delta)`` where ``build_delta`` is this
+    cell's build-cache counter movement (hits and regenerations).
+    """
     run_id = spec.run_id()
     stop = threading.Event()
 
@@ -246,13 +262,14 @@ def _run_one(store: ResultStore, spec: RunSpec, heartbeat_every: float):
 
     thread = threading.Thread(target=beat, daemon=True)
     thread.start()
+    before = build_cache.stats()
     try:
         outcome = run_spec(spec)
         store.save(outcome)
     finally:
         stop.set()
         thread.join()
-    return outcome
+    return outcome, build_cache.stats_delta(before, build_cache.stats())
 
 
 def _worker_loop(
@@ -274,6 +291,21 @@ def _worker_loop(
     *their* survivors).
     """
     store = ResultStore(store_root)
+    previous_spill = build_cache.spill_dir()
+    build_cache.set_spill_dir(store.root / BUILD_CACHE_DIR)
+    try:
+        _claim_and_run(
+            store, specs, emit, stale_after, heartbeat_every, poll_interval
+        )
+    finally:
+        # Inline (jobs=1) callers share this process: don't leave their
+        # global spill target pointed at our store.
+        build_cache.set_spill_dir(previous_spill)
+
+
+def _claim_and_run(
+    store, specs, emit, stale_after, heartbeat_every, poll_interval
+) -> None:
     pending = {spec.run_id(): spec for spec in specs}
     while pending:
         progressed = False
@@ -293,7 +325,7 @@ def _worker_loop(
                     progressed = True
                     continue
                 try:
-                    outcome = _run_one(store, spec, heartbeat_every)
+                    outcome, build_delta = _run_one(store, spec, heartbeat_every)
                 except Exception:
                     text = traceback.format_exc()
                     error_path = _error_path(store, run_id)
@@ -319,6 +351,7 @@ def _worker_loop(
                             run_id=run_id,
                             final_accuracy=outcome.final_accuracy,
                             worker=os.getpid(),
+                            build_cache=build_delta,
                         )
                     )
             finally:
@@ -388,6 +421,8 @@ def run_cells(
             report.ran.append(event.run_id)
         elif event.kind == "error":
             report.failed[event.run_id] = event.error or ""
+        for name, count in (event.build_cache or {}).items():
+            report.build_cache[name] = report.build_cache.get(name, 0) + count
         if progress is not None:
             progress(event)
 

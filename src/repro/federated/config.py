@@ -137,6 +137,12 @@ class FederatedConfig:
         :mod:`repro.grad.capture`).  Replays are bitwise identical to
         eager execution, so this is purely a speed knob; models using
         unsupported ops (e.g. dropout) transparently stay eager.
+    optimize:
+        Run the program optimizer on captured steps (liveness-planned
+        buffer arena, dead-op elimination, constant interning).  On by
+        default and bitwise-identical by construction; set False to
+        reproduce unoptimized programs exactly.  No effect unless
+        ``compile`` is on.
     aggregation:
         ``"sync"`` — the classic barrier round (Algorithm 1, the paper's
         protocol); ``"async"`` — FedBuff-style buffered aggregation on
@@ -196,6 +202,7 @@ class FederatedConfig:
     checkpoint_every: int = 0
     checkpoint_path: str | None = None
     compile: bool = False
+    optimize: bool = True
     aggregation: str = "sync"
     sample_per_round: int | None = None
     buffer_size: int | None = None

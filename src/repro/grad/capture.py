@@ -26,6 +26,18 @@ kernel runs the *same NumPy calls on arrays of the same memory layout*:
   reverse-topological pass, which is replicated verbatim at compile
   time.
 
+Program optimizer
+-----------------
+Between compile and first replay an optimizer pass (on by default)
+plans the buffer arena: liveness analysis plus interval-graph coloring
+lets compile-time output buffers share storage once their last reader
+has run, backward ops whose gradients never reach a trainable
+parameter are dropped, and identical small constants are interned
+across programs.  Optimized programs run the same kernels in the same
+order on identically-laid-out buffers, so replay stays bitwise
+identical; ``optimize=False`` reproduces the unplanned programs
+exactly.
+
 Fallback
 --------
 Capture is best-effort.  Ops without a capture kernel (``abs``, ``clip``,
@@ -138,6 +150,312 @@ _UNARY_UFUNCS = {
 }
 
 
+# ----------------------------------------------------------------------
+# Program optimizer: liveness rules, arena planner, constant interning
+# ----------------------------------------------------------------------
+class _OpRule:
+    """Planner contract for one op kind.
+
+    ``may_alias`` asserts the forward kernel never reads any input
+    element after writing the corresponding output element, so the
+    planner may overlay ``out`` onto an input buffer whose last reader
+    is this very op (an exact same-shape/dtype in-place write).
+    ``bwd_reads`` lists which arena buffers the backward kernel still
+    needs at backward time: ``"in"`` = the parent slots, ``"out"`` = the
+    op's own output slot.  ``view`` marks ops whose output is a view of
+    the input's storage rather than a buffer of its own.
+    """
+
+    __slots__ = ("may_alias", "bwd_reads", "view")
+
+    def __init__(self, *, may_alias, bwd_reads=(), view=False):
+        self.may_alias = may_alias
+        self.bwd_reads = bwd_reads
+        self.view = view
+
+
+# One liveness rule per op kind the compilers handle; tools/lint.py
+# enforces that this table and the kernel tables never drift apart.
+OP_RULES = {
+    "add": _OpRule(may_alias=True, bwd_reads=()),
+    "sub": _OpRule(may_alias=True, bwd_reads=()),
+    "mul": _OpRule(may_alias=True, bwd_reads=("in",)),
+    "div": _OpRule(may_alias=True, bwd_reads=("in",)),
+    "neg": _OpRule(may_alias=True, bwd_reads=()),
+    "exp": _OpRule(may_alias=True, bwd_reads=("out",)),
+    "log": _OpRule(may_alias=True, bwd_reads=("in",)),
+    "sqrt": _OpRule(may_alias=True, bwd_reads=("out",)),
+    "tanh": _OpRule(may_alias=True, bwd_reads=("out",)),
+    "sigmoid": _OpRule(may_alias=True, bwd_reads=("out",)),
+    "relu": _OpRule(may_alias=True, bwd_reads=("in",)),
+    "pow": _OpRule(may_alias=False, bwd_reads=("in",)),
+    "sum": _OpRule(may_alias=False, bwd_reads=()),
+    "reshape": _OpRule(may_alias=False, bwd_reads=(), view=True),
+    "transpose": _OpRule(may_alias=False, bwd_reads=(), view=True),
+    "matmul": _OpRule(may_alias=False, bwd_reads=("in",)),
+    "conv2d": _OpRule(may_alias=False, bwd_reads=("in",)),
+    "max_pool2d": _OpRule(may_alias=False, bwd_reads=()),
+    "avg_pool2d": _OpRule(may_alias=False, bwd_reads=()),
+    "cross_entropy": _OpRule(may_alias=False, bwd_reads=()),
+}
+
+# Kinds whose forward kernel allocates its output buffer at compile time
+# (the only allocations the planner can color).  Composites bind views of
+# private scratch, ``pow`` rebinds per step, views alias their input.
+_PLANNED_KINDS = frozenset(
+    set(_BINARY_UFUNCS)
+    | set(_UNARY_UFUNCS)
+    | {"sigmoid", "sum", "matmul", "relu"}
+)
+
+
+class ArenaPlanStats:
+    """What the program optimizer did to one compiled program."""
+
+    __slots__ = (
+        "peak_bytes",
+        "unplanned_bytes",
+        "slots_before",
+        "slots_after",
+        "ops_eliminated",
+        "constants_interned",
+    )
+
+    def __init__(
+        self,
+        *,
+        peak_bytes,
+        unplanned_bytes,
+        slots_before,
+        slots_after,
+        ops_eliminated,
+        constants_interned,
+    ):
+        self.peak_bytes = peak_bytes
+        self.unplanned_bytes = unplanned_bytes
+        self.slots_before = slots_before
+        self.slots_after = slots_after
+        self.ops_eliminated = ops_eliminated
+        self.constants_interned = constants_interned
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of colorable arena bytes removed by slot sharing."""
+        if not self.unplanned_bytes:
+            return 0.0
+        return 1.0 - self.peak_bytes / self.unplanned_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "peak_bytes": int(self.peak_bytes),
+            "unplanned_bytes": int(self.unplanned_bytes),
+            "reduction": round(self.reduction, 4),
+            "slots_before": int(self.slots_before),
+            "slots_after": int(self.slots_after),
+            "ops_eliminated": int(self.ops_eliminated),
+            "constants_interned": int(self.constants_interned),
+        }
+
+
+def _dense_layout(template: np.ndarray):
+    """``template``'s strides when it covers its buffer densely, else None.
+
+    ``np.empty_like`` reproduces permuted-contiguous layouts (e.g. the
+    NCHW view of a conv output); such a buffer occupies exactly
+    ``nbytes`` of gapless memory, so a carved block can be re-strided to
+    an identical layout.  Anything with gaps or negative strides stays
+    on a dedicated buffer.
+    """
+    if template.flags["C_CONTIGUOUS"]:
+        return None  # plain reshape covers it
+    expected = template.itemsize
+    for axis in sorted(range(template.ndim), key=lambda i: template.strides[i]):
+        if template.shape[axis] == 1:
+            continue
+        if template.shape[axis] == 0 or template.strides[axis] != expected:
+            return False
+        expected *= template.shape[axis]
+    return template.strides
+
+
+class _Alloc:
+    """One colorable buffer request with its live interval [birth, last].
+
+    ``strides`` is None for a C-contiguous request, or the exact dense
+    strides the carved view must reproduce.
+    """
+
+    __slots__ = (
+        "shape",
+        "dtype",
+        "strides",
+        "nbytes",
+        "birth",
+        "last",
+        "may_alias",
+        "buffer",
+    )
+
+    def __init__(self, shape, dtype, strides, birth, may_alias):
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.strides = None if strides is None else tuple(strides)
+        self.nbytes = int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+        self.birth = birth
+        self.last = birth
+        self.may_alias = may_alias
+        self.buffer = None
+
+
+class _ArenaPlanner:
+    """Interval-graph slot coloring over one program's buffer requests.
+
+    Liveness events are collected in program order (forward ops, then
+    the scheduled backward ops, then the final read of the program
+    output); :meth:`plan` then packs every request into the smallest set
+    of byte blocks such that no two requests with overlapping live
+    ranges share a block.  A request may land on a block whose current
+    tenant dies exactly at the request's birth step only when the
+    producing kernel declared ``may_alias`` and the overlay is an exact
+    same-shape/dtype in-place write — any other overlap would let a
+    kernel scribble over bytes a later reader still needs.
+    """
+
+    __slots__ = ("allocs", "blocks", "planned", "_by_slot", "_by_key", "_roots")
+
+    def __init__(self):
+        self.allocs: list[_Alloc] = []
+        self.blocks: list[dict] = []
+        self.planned = False
+        self._by_slot: dict[int, _Alloc] = {}
+        self._by_key: dict[int, _Alloc] = {}
+        self._roots: dict[int, int] = {}
+
+    def _root(self, slot: int) -> int:
+        while slot in self._roots:
+            slot = self._roots[slot]
+        return slot
+
+    def define(self, slot, shape, dtype, step, may_alias, strides=None) -> None:
+        alloc = _Alloc(shape, dtype, strides, step, may_alias)
+        self.allocs.append(alloc)
+        self._by_slot[slot] = alloc
+
+    def define_keyed(self, key, shape, dtype, step, may_alias) -> None:
+        """A request not bound to a slot (e.g. a relu backward mask)."""
+        alloc = _Alloc(shape, dtype, None, step, may_alias)
+        self.allocs.append(alloc)
+        self._by_key[key] = alloc
+
+    def view(self, slot, of_slot) -> None:
+        """Reads of ``slot`` are reads of ``of_slot``'s storage."""
+        self._roots[slot] = of_slot
+
+    def alias(self, slot, of_slot, step) -> None:
+        """``slot`` is written into ``of_slot``'s storage at ``step``."""
+        self._roots[slot] = of_slot
+        alloc = self._by_slot.get(self._root(of_slot))
+        if alloc is not None and step > alloc.last:
+            alloc.last = step
+
+    def read(self, slot, step) -> None:
+        alloc = self._by_slot.get(self._root(slot))
+        if alloc is not None and step > alloc.last:
+            alloc.last = step
+
+    def plan(self) -> None:
+        # Requests were appended in program order, so a single pass sees
+        # each one after all earlier births; best fit by capacity keeps
+        # the big activation blocks available for later reuse.
+        blocks: list[dict] = []
+        for alloc in self.allocs:
+            best = None
+            for block in blocks:
+                if block["size"] < alloc.nbytes:
+                    continue
+                top = block["top"]
+                free = block["last"] < alloc.birth or (
+                    alloc.may_alias
+                    and block["last"] == alloc.birth
+                    and top.last == alloc.birth
+                    and top.shape == alloc.shape
+                    and top.dtype == alloc.dtype
+                    and top.strides == alloc.strides
+                )
+                if free and (best is None or block["size"] < best["size"]):
+                    best = block
+            if best is None:
+                blocks.append(
+                    {
+                        "size": alloc.nbytes,
+                        "last": alloc.last,
+                        "top": alloc,
+                        "tenants": [alloc],
+                    }
+                )
+            else:
+                best["last"] = max(best["last"], alloc.last)
+                best["top"] = alloc
+                best["tenants"].append(alloc)
+        for block in blocks:
+            # All tenants carve from offset 0 of one aligned byte block:
+            # the views have exactly the shape/strides/dtype a dedicated
+            # ``np.empty``/``np.empty_like`` would have, so kernels
+            # cannot tell the difference.
+            base = np.empty((block["size"],), dtype=np.uint8)
+            block["base"] = base
+            for tenant in block["tenants"]:
+                flat = base[: tenant.nbytes].view(tenant.dtype)
+                if tenant.strides is None:
+                    tenant.buffer = flat.reshape(tenant.shape)
+                else:
+                    tenant.buffer = as_strided(
+                        flat, shape=tenant.shape, strides=tenant.strides
+                    )
+        self.blocks = blocks
+        self.planned = True
+
+    def buffer(self, slot) -> np.ndarray | None:
+        alloc = self._by_slot.get(slot)
+        return None if alloc is None else alloc.buffer
+
+    def keyed_buffer(self, key) -> np.ndarray | None:
+        alloc = self._by_key.get(key)
+        return None if alloc is None else alloc.buffer
+
+    @property
+    def dedicated_bytes(self) -> int:
+        return sum(alloc.nbytes for alloc in self.allocs)
+
+    @property
+    def planned_bytes(self) -> int:
+        return sum(block["size"] for block in self.blocks)
+
+
+_CONSTANT_POOL: dict[tuple, np.ndarray] = {}
+_CONSTANT_POOL_MAX_NBYTES = 4096
+
+
+def _intern_constant(value: np.ndarray) -> tuple[np.ndarray, bool]:
+    """A shared read-only snapshot of ``value`` (small constants only).
+
+    Captured programs never write constant slots, so identical eps/scale
+    arrays can back every program that needs them; the write lock turns
+    any future violation of that invariant into a loud error instead of
+    silent cross-program corruption.  Returns ``(array, was_shared)``.
+    """
+    arr = np.array(value, copy=True)
+    if arr.nbytes > _CONSTANT_POOL_MAX_NBYTES:
+        return arr, False
+    key = (arr.dtype.str, arr.shape, arr.tobytes())
+    cached = _CONSTANT_POOL.get(key)
+    if cached is not None:
+        return cached, True
+    arr.setflags(write=False)
+    _CONSTANT_POOL[key] = arr
+    return arr, False
+
+
 class CapturedStep:
     """A compiled (forward [+ backward]) program over a buffer arena."""
 
@@ -156,6 +474,7 @@ class CapturedStep:
         "gseen_false",
         "seed",
         "acc",
+        "stats",
     )
 
     def __init__(self, **fields):
@@ -194,11 +513,24 @@ class CapturedStep:
 class _Compiler:
     """Turns a :class:`Tape` into a :class:`CapturedStep`."""
 
-    def __init__(self, tape: Tape, input_tensor: Tensor, output: Tensor, labels):
+    def __init__(
+        self,
+        tape: Tape,
+        input_tensor: Tensor,
+        output: Tensor,
+        labels,
+        optimize: bool = True,
+    ):
         self.tape = tape
         self.input_tensor = input_tensor
         self.output = output
         self.labels = labels
+        self.optimize = optimize
+        self._planner: _ArenaPlanner | None = None
+        self._eliminated = 0
+        self._interned = 0
+        self._raw_slots = 0
+        self._raw_bytes = 0
         self.slots: dict[int, int] = {}
         self.arena: list = []
         self.shapes: list = []
@@ -258,7 +590,12 @@ class _Compiler:
             self.buffer_refresh.append((slot, module, name, shape))
         else:
             # Constant (coerced scalar, eps, 1/count, ...): snapshot once.
-            self.arena[slot] = np.array(t.data, copy=True)
+            if self.optimize:
+                value, shared = _intern_constant(t.data)
+                self._interned += 1 if shared else 0
+                self.arena[slot] = value
+            else:
+                self.arena[slot] = np.array(t.data, copy=True)
 
     def _make_acc(self):
         shapes, dtypes, gbufs = self.shapes, self.dtypes, self.gbufs
@@ -300,20 +637,19 @@ class _Compiler:
         if self.labels is not None:
             self.labels_slot = self._new_slot(self.labels.shape, self.labels.dtype)
 
-        forward_ops: list = []
+        # Slot assignment precedes kernel construction so the planner can
+        # see the whole program (including the backward schedule) before
+        # any kernel closes over a concrete buffer.
         for kind, entry in self.tape.entries:
             if kind == "op":
                 for parent in entry.parents:
                     self._ensure_slot(parent, is_out=False)
                 self._ensure_slot(entry.out, is_out=True)
-                forward_ops.append(self._forward_op(entry))
-            else:
-                forward_ops.append(self._bn_op(entry))
 
         if id(self.output) not in self.slots:
             raise CaptureError("model output is not an op of the tape")
 
-        backward_ops: list = []
+        sched: list = []
         seed = None
         if with_backward:
             if not self.output.requires_grad:
@@ -321,15 +657,23 @@ class _Compiler:
             if self.output.data.size != 1:
                 raise CaptureError("backward capture needs a scalar loss")
             seed = np.ones_like(self.output.data)
-            for node in reversed(self._toposort()):
-                if node._backward is None:
-                    continue
-                rec = self._recmap.get(id(node))
-                if rec is None:
-                    raise CaptureError("graph node missing from the tape")
-                kernel = self._backward_op(rec)
-                if kernel is not None:
-                    backward_ops.append(kernel)
+            sched = self._schedule_backward()
+
+        if self.optimize:
+            self._plan_arena(sched)
+
+        forward_ops: list = []
+        for kind, entry in self.tape.entries:
+            if kind == "op":
+                forward_ops.append(self._forward_op(entry))
+            else:
+                forward_ops.append(self._bn_op(entry))
+
+        backward_ops: list = []
+        for rec in sched:
+            kernel = self._backward_op(rec)
+            if kernel is not None:
+                backward_ops.append(kernel)
 
         self._acc_seen.extend([False] * len(self.arena))
         gseen = self._acc_seen
@@ -348,6 +692,201 @@ class _Compiler:
             gseen_false=[False] * len(self.arena),
             seed=seed,
             acc=self.acc,
+            stats=self._plan_stats(),
+        )
+
+    # -- optimizer passes ------------------------------------------------
+    def _schedule_backward(self) -> list:
+        """The backward records in execution order, minus dead ops.
+
+        The order replicates the eager reverse-topological pass exactly;
+        with the optimizer on, ops whose gradients never transitively
+        reach a trainable Parameter (input-gradient chains, probes
+        through constants) are dropped before any buffer is planned.
+        Dropping them is bitwise-safe: the live/dead split is closed
+        under consumption — every consumer of a live node is itself live
+        — so no surviving accumulation loses a contributor.
+        """
+        matters = self._grad_consumers() if self.optimize else None
+        sched: list = []
+        for node in reversed(self._toposort()):
+            if node._backward is None:
+                continue
+            rec = self._recmap.get(id(node))
+            if rec is None:
+                raise CaptureError("graph node missing from the tape")
+            if matters is not None and not matters.get(id(rec.out), False):
+                self._eliminated += 1
+                continue
+            sched.append(rec)
+        return sched
+
+    def _grad_consumers(self) -> dict[int, bool]:
+        """``id(out) -> does this op's gradient reach a trainable param``.
+
+        Computed in forward topological order: an op's gradient matters
+        iff some parent both requires grad and either is a trainable
+        Parameter or is an earlier op whose gradient matters.  Gradients
+        of non-parameter leaves are never surfaced by a replay, so
+        chains that only feed them are dead weight.
+        """
+        matters: dict[int, bool] = {}
+        for rec in self._records:
+            m = False
+            for p in rec.parents:
+                if not p.requires_grad:
+                    continue
+                if id(p) in self._outs:
+                    if matters.get(id(p)):
+                        m = True
+                        break
+                elif isinstance(p, Parameter):
+                    m = True
+                    break
+            matters[id(rec.out)] = m
+        return matters
+
+    def _plan_arena(self, sched: list) -> None:
+        """Collect liveness events in program order and color the arena."""
+        planner = _ArenaPlanner()
+        step = 0
+        for kind, entry in self.tape.entries:
+            if kind == "op":
+                rec = entry
+                for p in rec.parents:
+                    planner.read(self.slot(p), step)
+                o = self.slot(rec.out)
+                rule = OP_RULES.get(rec.kind)
+                if rule is not None and rule.view:
+                    planner.view(o, self.slot(rec.parents[0]))
+                elif self._peephole_src(rec) is not None:
+                    planner.alias(o, self.slot(rec.parents[0]), step)
+                else:
+                    spec = self._managed_spec(rec)
+                    if spec is not None and rule is not None:
+                        shape, dtype, strides = spec
+                        planner.define(
+                            o, shape, dtype, step, rule.may_alias, strides=strides
+                        )
+            else:
+                _, mean_t, var_t, _ = entry
+                sm = self.slots.get(id(mean_t))
+                sv = self.slots.get(id(var_t))
+                if sm is not None:
+                    planner.read(sm, step)
+                if sv is not None:
+                    planner.read(sv, step)
+            step += 1
+        for rec in sched:
+            rule = OP_RULES.get(rec.kind)
+            reads = rule.bwd_reads if rule is not None else ("in", "out")
+            if "out" in reads:
+                planner.read(self.slot(rec.out), step)
+            if "in" in reads:
+                for p in rec.parents:
+                    planner.read(self.slot(p), step)
+            if rec.kind == "relu":
+                # The bool mask lives only inside the backward kernel.
+                planner.define_keyed(
+                    id(rec), self._mask_shape(rec), bool, step, may_alias=False
+                )
+            step += 1
+        # The program output is handed to the caller after replay (the
+        # loss read, inference logits, stacked per-client losses), so its
+        # storage must survive the whole program.
+        planner.read(self.slot(self.output), step)
+        planner.plan()
+        self._planner = planner
+
+    def _peephole_src(self, rec: _OpRecord):
+        """The matmul record whose buffer a bias-add overwrites, or None.
+
+        Decided on static facts only (record kinds, consumer counts,
+        eager shapes), so the planner and the kernel builder always
+        agree on whether the peephole fires.
+        """
+        if rec.kind != "add":
+            return None
+        src_rec = self._recmap.get(id(rec.parents[0]))
+        if (
+            src_rec is not None
+            and src_rec.kind == "matmul"
+            and self._consumers.get(id(rec.parents[0])) == 1
+            and rec.parents[0] is not self.output
+            and src_rec.out.data.shape == rec.out.data.shape
+            and src_rec.out.data.dtype == rec.out.data.dtype
+        ):
+            return src_rec
+        return None
+
+    def _managed_spec(self, rec: _OpRecord):
+        """(shape, dtype, strides) of a colorable output buffer, or None.
+
+        The carved block view must be byte-for-byte the layout a
+        dedicated ``np.empty_like`` would produce: C-contiguous outputs
+        reshape straight out of the block (strides None), dense permuted
+        layouts (e.g. the NCHW view of a conv output flowing through
+        relu) are re-strided to the probed ``np.empty_like`` strides,
+        and anything non-dense stays unmanaged.
+        """
+        if rec.kind not in _PLANNED_KINDS:
+            return None
+        out = rec.out.data
+        if out.flags["C_CONTIGUOUS"]:
+            return out.shape, out.dtype, None
+        strides = _dense_layout(np.empty_like(out))
+        if strides is False:
+            return None
+        return out.shape, out.dtype, strides
+
+    def _mask_shape(self, rec: _OpRecord) -> tuple:
+        return rec.parents[0].data.shape
+
+    def _fresh_buf(self, rec: _OpRecord) -> np.ndarray:
+        return np.empty_like(rec.out.data)
+
+    def _out_buf(self, rec: _OpRecord) -> np.ndarray:
+        planner = self._planner
+        if planner is not None:
+            buf = planner.buffer(self.slot(rec.out))
+            if buf is not None:
+                return buf
+        buf = self._fresh_buf(rec)
+        if planner is None and self._managed_spec(rec) is not None:
+            self._raw_slots += 1
+            self._raw_bytes += buf.nbytes
+        return buf
+
+    def _mask_buf(self, rec: _OpRecord) -> np.ndarray:
+        planner = self._planner
+        if planner is not None:
+            buf = planner.keyed_buffer(id(rec))
+            if buf is not None:
+                return buf
+        mask = np.empty(self._mask_shape(rec), dtype=bool)
+        if planner is None:
+            self._raw_slots += 1
+            self._raw_bytes += mask.nbytes
+        return mask
+
+    def _plan_stats(self) -> ArenaPlanStats:
+        planner = self._planner
+        if planner is None:
+            return ArenaPlanStats(
+                peak_bytes=self._raw_bytes,
+                unplanned_bytes=self._raw_bytes,
+                slots_before=self._raw_slots,
+                slots_after=self._raw_slots,
+                ops_eliminated=0,
+                constants_interned=self._interned,
+            )
+        return ArenaPlanStats(
+            peak_bytes=planner.planned_bytes,
+            unplanned_bytes=planner.dedicated_bytes,
+            slots_before=len(planner.allocs),
+            slots_after=len(planner.blocks),
+            ops_eliminated=self._eliminated,
+            constants_interned=self._interned,
         )
 
     def _toposort(self) -> list[Tensor]:
@@ -381,25 +920,16 @@ class _Compiler:
             fn = _BINARY_UFUNCS[kind]
             a, b = srcs
             buf = None
-            if kind == "add":
+            if kind == "add" and self._peephole_src(rec) is not None:
                 # Bias-add peephole: when the left operand is a matmul
                 # whose only reader is this add, the sum is written back
                 # into the matmul's buffer (the cachelines are still hot,
-                # and no backward kernel reads the pre-add values).
-                src_rec = self._recmap.get(id(rec.parents[0]))
-                prior = arena[a]
-                if (
-                    src_rec is not None
-                    and src_rec.kind == "matmul"
-                    and self._consumers.get(id(rec.parents[0])) == 1
-                    and rec.parents[0] is not self.output
-                    and isinstance(prior, np.ndarray)
-                    and prior.shape == rec.out.data.shape
-                    and prior.dtype == rec.out.data.dtype
-                ):
-                    buf = prior
+                # and no backward kernel reads the pre-add values).  The
+                # matmul kernel was built earlier in program order, so
+                # its buffer is already bound.
+                buf = arena[a]
             if buf is None:
-                buf = np.empty_like(rec.out.data)
+                buf = self._out_buf(rec)
             arena[o] = buf
 
             def run():
@@ -409,7 +939,7 @@ class _Compiler:
 
         if kind in _UNARY_UFUNCS:
             fn = _UNARY_UFUNCS[kind]
-            buf = np.empty_like(rec.out.data)
+            buf = self._out_buf(rec)
             arena[o] = buf
             (a,) = srcs
 
@@ -422,7 +952,7 @@ class _Compiler:
             return self._relu(rec)
 
         if kind == "sigmoid":
-            buf = np.empty_like(rec.out.data)
+            buf = self._out_buf(rec)
             arena[o] = buf
             (a,) = srcs
             st: dict = {}
@@ -455,7 +985,7 @@ class _Compiler:
         if kind == "sum":
             axis = rec.meta["axis"]
             keepdims = rec.meta["keepdims"]
-            buf = np.empty_like(rec.out.data)
+            buf = self._out_buf(rec)
             arena[o] = buf
             (a,) = srcs
 
@@ -483,7 +1013,7 @@ class _Compiler:
             return run
 
         if kind == "matmul":
-            buf = np.empty_like(rec.out.data)
+            buf = self._out_buf(rec)
             arena[o] = buf
             a, b = srcs
 
@@ -540,9 +1070,9 @@ class _Compiler:
         x_t = rec.parents[0]
         a = self.slot(x_t)
         o = self.slot(rec.out)
-        buf = np.empty_like(rec.out.data)
+        buf = self._out_buf(rec)
         arena[o] = buf
-        mask = np.empty(x_t.data.shape, dtype=bool)
+        mask = self._mask_buf(rec)
         cell = _Cell()
 
         def fwd():
@@ -1169,6 +1699,7 @@ class StackedStep:
         "seed",
         "acc",
         "stack",
+        "stats",
     )
 
     def __init__(self, **fields):
@@ -1227,12 +1758,14 @@ class _StackedCompiler(_Compiler):
     dimension — which is what :meth:`_reader` provides.
     """
 
-    def __init__(self, tape, input_tensor, output, labels, stack, params):
+    def __init__(
+        self, tape, input_tensor, output, labels, stack, params, optimize=True
+    ):
         self.stack = stack
         self._stacked: set[int] = set()
         self._param_index = {id(p): i for i, p in enumerate(params)}
         self.param_slots: list[int | None] = [None] * len(params)
-        super().__init__(tape, input_tensor, output, labels)
+        super().__init__(tape, input_tensor, output, labels, optimize=optimize)
 
     # -- slots ----------------------------------------------------------
     def _ensure_slot(self, t: Tensor, is_out: bool) -> int:
@@ -1277,7 +1810,12 @@ class _StackedCompiler(_Compiler):
         # Constant (coerced scalar, eps, ...): shared by all clients.
         slot = self._new_slot(base_shape, dtype)
         self.slots[id(t)] = slot
-        self.arena[slot] = np.array(t.data, copy=True)
+        if self.optimize:
+            value, shared = _intern_constant(t.data)
+            self._interned += 1 if shared else 0
+            self.arena[slot] = value
+        else:
+            self.arena[slot] = np.array(t.data, copy=True)
         return slot
 
     def _make_acc(self):
@@ -1322,6 +1860,21 @@ class _StackedCompiler(_Compiler):
         )
         return lambda: arena[slot].reshape(view_shape)
 
+    # -- optimizer hooks -------------------------------------------------
+    def _managed_spec(self, rec: _OpRecord):
+        # Stacked compile-time buffers are always freshly-built
+        # C-contiguous ``(K,) + base`` arrays, so every planned kind is
+        # colorable regardless of the eager trace's layout.
+        if rec.kind not in _PLANNED_KINDS:
+            return None
+        return (self.stack,) + rec.out.data.shape, rec.out.data.dtype, None
+
+    def _mask_shape(self, rec: _OpRecord) -> tuple:
+        return (self.stack,) + rec.parents[0].data.shape
+
+    def _fresh_buf(self, rec: _OpRecord) -> np.ndarray:
+        return np.empty((self.stack,) + rec.out.data.shape, rec.out.data.dtype)
+
     # -- compile --------------------------------------------------------
     def compile_stacked(self) -> StackedStep:
         stack = self.stack
@@ -1333,7 +1886,6 @@ class _StackedCompiler(_Compiler):
         )
         self._stacked.add(self.labels_slot)
 
-        forward_ops: list = []
         for kind, entry in self.tape.entries:
             if kind != "op":
                 raise CaptureError(
@@ -1342,7 +1894,6 @@ class _StackedCompiler(_Compiler):
             for parent in entry.parents:
                 self._ensure_slot(parent, is_out=False)
             self._ensure_slot(entry.out, is_out=True)
-            forward_ops.append(self._forward_op(entry))
 
         if id(self.output) not in self.slots:
             raise CaptureError("model output is not an op of the tape")
@@ -1350,23 +1901,25 @@ class _StackedCompiler(_Compiler):
             raise CaptureError("output does not require grad")
         if self.output.data.size != 1:
             raise CaptureError("backward capture needs a scalar loss")
+        if self.input_slot is None:
+            raise CaptureError("model output does not depend on the input batch")
         seed = np.ones(
             (stack,) + self.output.data.shape, dtype=self.output.data.dtype
         )
 
+        sched = self._schedule_backward()
+        if self.optimize:
+            self._plan_arena(sched)
+
+        forward_ops: list = []
+        for kind, entry in self.tape.entries:
+            forward_ops.append(self._forward_op(entry))
+
         backward_ops: list = []
-        for node in reversed(self._toposort()):
-            if node._backward is None:
-                continue
-            rec = self._recmap.get(id(node))
-            if rec is None:
-                raise CaptureError("graph node missing from the tape")
+        for rec in sched:
             kernel = self._backward_op(rec)
             if kernel is not None:
                 backward_ops.append(kernel)
-
-        if self.input_slot is None:
-            raise CaptureError("model output does not depend on the input batch")
 
         self._acc_seen.extend([False] * len(self.arena))
         return StackedStep(
@@ -1383,6 +1936,7 @@ class _StackedCompiler(_Compiler):
             seed=seed,
             acc=self.acc,
             stack=stack,
+            stats=self._plan_stats(),
         )
 
     # -- forward kernels ------------------------------------------------
@@ -1400,23 +1954,12 @@ class _StackedCompiler(_Compiler):
             ra = self._reader(rec.parents[0], len(out_base))
             rb = self._reader(rec.parents[1], len(out_base))
             buf = None
-            if kind == "add":
+            if kind == "add" and self._peephole_src(rec) is not None:
                 # Same bias-add peephole as the serial compiler, against
                 # the stacked matmul buffer.
-                src_rec = self._recmap.get(id(rec.parents[0]))
-                prior = arena[a]
-                if (
-                    src_rec is not None
-                    and src_rec.kind == "matmul"
-                    and self._consumers.get(id(rec.parents[0])) == 1
-                    and rec.parents[0] is not self.output
-                    and isinstance(prior, np.ndarray)
-                    and prior.shape == (stack,) + out_base
-                    and prior.dtype == rec.out.data.dtype
-                ):
-                    buf = prior
+                buf = arena[a]
             if buf is None:
-                buf = np.empty((stack,) + out_base, rec.out.data.dtype)
+                buf = self._out_buf(rec)
             arena[o] = buf
 
             def run():
@@ -1426,7 +1969,7 @@ class _StackedCompiler(_Compiler):
 
         if kind in _UNARY_UFUNCS:
             fn = _UNARY_UFUNCS[kind]
-            buf = np.empty((stack,) + out_base, rec.out.data.dtype)
+            buf = self._out_buf(rec)
             arena[o] = buf
             (a,) = srcs
 
@@ -1439,7 +1982,7 @@ class _StackedCompiler(_Compiler):
             return self._relu(rec)
 
         if kind == "sigmoid":
-            buf = np.empty((stack,) + out_base, rec.out.data.dtype)
+            buf = self._out_buf(rec)
             arena[o] = buf
             (a,) = srcs
             st: dict = {}
@@ -1471,7 +2014,7 @@ class _StackedCompiler(_Compiler):
             axis = rec.meta["axis"]
             keepdims = rec.meta["keepdims"]
             (a,) = srcs
-            buf = np.empty((stack,) + out_base, rec.out.data.dtype)
+            buf = self._out_buf(rec)
             arena[o] = buf
             if axis is None:
                 # Full reduce becomes a per-client reduce over the
@@ -1519,7 +2062,7 @@ class _StackedCompiler(_Compiler):
                 raise CaptureError("stacked matmul needs >= 2-D operands")
             ra = self._reader(rec.parents[0], len(out_base))
             rb = self._reader(rec.parents[1], len(out_base))
-            buf = np.empty((stack,) + out_base, rec.out.data.dtype)
+            buf = self._out_buf(rec)
             arena[o] = buf
 
             def run():
@@ -1548,9 +2091,9 @@ class _StackedCompiler(_Compiler):
         x_t = rec.parents[0]
         a = self.slot(x_t)
         o = self.slot(rec.out)
-        buf = np.empty((stack,) + rec.out.data.shape, rec.out.data.dtype)
+        buf = self._out_buf(rec)
         arena[o] = buf
-        mask = np.empty((stack,) + x_t.data.shape, dtype=bool)
+        mask = self._mask_buf(rec)
         cell = _Cell()
 
         def fwd():
@@ -2047,7 +2590,9 @@ class _StackedCompiler(_Compiler):
         return super()._backward_op(rec)
 
 
-def compile_stacked_step(model, stack: int, features, labels) -> StackedStep:
+def compile_stacked_step(
+    model, stack: int, features, labels, optimize: bool = True
+) -> StackedStep:
     """Compile a K-client batched SGD training step for ``model``.
 
     ``features``/``labels`` are shape/dtype templates for *one* client's
@@ -2073,7 +2618,7 @@ def compile_stacked_step(model, stack: int, features, labels) -> StackedStep:
         if tape.failed is not None:
             raise CaptureError(tape.failed)
         compiler = _StackedCompiler(
-            tape, x, loss, synth_y, stack, model.parameters()
+            tape, x, loss, synth_y, stack, model.parameters(), optimize=optimize
         )
         return compiler.compile_stacked()
     finally:
@@ -2090,8 +2635,9 @@ class StackedEngine:
     immediately on later requests, so executors can probe cheaply.
     """
 
-    def __init__(self, model):
+    def __init__(self, model, optimize: bool = True):
         self.model = model
+        self.optimize = optimize
         self.programs: dict = {}
         self.failures: dict = {}
 
@@ -2110,7 +2656,9 @@ class StackedEngine:
         if reason is not None:
             raise CaptureError(reason)
         try:
-            program = compile_stacked_step(self.model, stack, features, labels)
+            program = compile_stacked_step(
+                self.model, stack, features, labels, optimize=self.optimize
+            )
         except CaptureError as error:
             self.failures[key] = str(error)
             raise
@@ -2131,8 +2679,9 @@ class _Engine:
     the reason its capture was rejected.
     """
 
-    def __init__(self, model):
+    def __init__(self, model, optimize: bool = True):
         self.model = model
+        self.optimize = optimize
         self.programs: dict = {}
         self.failures: dict = {}
         self.captures = 0
@@ -2200,7 +2749,9 @@ class TrainingEngine(_Engine):
         else:
             try:
                 # Compile BEFORE backward: backward() frees the graph.
-                program = _Compiler(tape, x, loss, labels).compile(with_backward=True)
+                program = _Compiler(
+                    tape, x, loss, labels, optimize=self.optimize
+                ).compile(with_backward=True)
                 self.programs[key] = program
                 self.captures += 1
             except CaptureError as error:
@@ -2246,7 +2797,9 @@ class InferenceEngine(_Engine):
             self.failures[key] = tape.failed
             return out.data
         try:
-            program = _Compiler(tape, x, out, None).compile(with_backward=False)
+            program = _Compiler(
+                tape, x, out, None, optimize=self.optimize
+            ).compile(with_backward=False)
             self.programs[key] = program
             self.captures += 1
         except CaptureError as error:
@@ -2265,31 +2818,39 @@ def _engine_cache(model) -> dict:
     return cache
 
 
-def training_engine(model) -> TrainingEngine:
-    """The model's cached :class:`TrainingEngine` (created on first use)."""
+def training_engine(model, optimize: bool = True) -> TrainingEngine:
+    """The model's cached :class:`TrainingEngine` (created on first use).
+
+    ``optimize=False`` compiles programs without the arena planner and
+    dead-op elimination (the ``--no-optimize`` escape hatch); optimized
+    and raw engines are cached independently.
+    """
     cache = _engine_cache(model)
-    engine = cache.get("train")
+    key = "train" if optimize else "train-raw"
+    engine = cache.get(key)
     if engine is None:
-        engine = TrainingEngine(model)
-        cache["train"] = engine
+        engine = TrainingEngine(model, optimize=optimize)
+        cache[key] = engine
     return engine
 
 
-def inference_engine(model) -> InferenceEngine:
+def inference_engine(model, optimize: bool = True) -> InferenceEngine:
     """The model's cached :class:`InferenceEngine` (created on first use)."""
     cache = _engine_cache(model)
-    engine = cache.get("eval")
+    key = "eval" if optimize else "eval-raw"
+    engine = cache.get(key)
     if engine is None:
-        engine = InferenceEngine(model)
-        cache["eval"] = engine
+        engine = InferenceEngine(model, optimize=optimize)
+        cache[key] = engine
     return engine
 
 
-def stacked_engine(model) -> StackedEngine:
+def stacked_engine(model, optimize: bool = True) -> StackedEngine:
     """The model's cached :class:`StackedEngine` (created on first use)."""
     cache = _engine_cache(model)
-    engine = cache.get("stacked")
+    key = "stacked" if optimize else "stacked-raw"
+    engine = cache.get(key)
     if engine is None:
-        engine = StackedEngine(model)
-        cache["stacked"] = engine
+        engine = StackedEngine(model, optimize=optimize)
+        cache[key] = engine
     return engine

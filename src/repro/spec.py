@@ -179,6 +179,10 @@ class ExecSpec:
     #: capture & replay training/inference steps (bitwise-identical to
     #: eager by contract, hence exec-section; see repro.grad.capture)
     compile: bool = False
+    #: run the program optimizer on captured steps (arena planning,
+    #: dead-op elimination, constant interning — bitwise-identical by
+    #: construction; ``--no-optimize`` is the escape hatch)
+    optimize: bool = True
 
 
 #: RunSpec section name -> section dataclass (the order of to_dict output)
@@ -239,6 +243,7 @@ OVERRIDE_PATHS: dict[str, tuple[str | None, str]] = {
     "checkpoint_every": ("exec", "checkpoint_every"),
     "checkpoint_path": ("exec", "checkpoint_path"),
     "compile": ("exec", "compile"),
+    "optimize": ("exec", "optimize"),
     "seed": (None, "seed"),
 }
 
@@ -324,6 +329,7 @@ class RunSpec:
         checkpoint_every: int = 0,
         checkpoint_path: str | None = None,
         compile: bool = False,
+        optimize: bool = True,
         seed: int = 0,
         algorithm_kwargs: dict | None = None,
         model_kwargs: dict | None = None,
@@ -413,6 +419,7 @@ class RunSpec:
                 checkpoint_every=checkpoint_every,
                 checkpoint_path=checkpoint_path,
                 compile=compile,
+                optimize=optimize,
             ),
             seed=seed,
         )

@@ -1,0 +1,261 @@
+"""The content-addressed dataset/partition build cache.
+
+Covers the three lookup tiers (memo, disk spill, builder), counter
+accounting, atomicity against torn entries, read-only publication, the
+feature-transform spill exclusion, and the scheduler-level guarantee
+the cache exists for: a re-invoked sweep regenerates nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, build_cache
+from repro.data.registry import DatasetInfo
+from repro.partition import HomogeneousPartitioner
+from repro.partition.base import Partition
+
+pytestmark = pytest.mark.capture
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    build_cache.reset()
+    yield
+    build_cache.reset()
+
+
+def make_build(n=12, d=5, seed=0):
+    """A counting builder for one synthetic (train, test, info) triple."""
+    rng = np.random.default_rng(seed)
+
+    def dataset(rows):
+        features = rng.standard_normal((rows, d)).astype(np.float32)
+        labels = rng.integers(0, 3, size=rows).astype(np.int64)
+        return ArrayDataset(features, labels)
+
+    info = DatasetInfo(
+        name="synthetic", modality="tabular", num_classes=3,
+        input_shape=(d,), num_train=n, num_test=n // 2,
+    )
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return dataset(n), dataset(n // 2), info
+
+    return builder, calls
+
+
+class TestKeys:
+    def test_dataset_key_normalizes_name(self):
+        assert build_cache.dataset_key("FEMNIST", 0) == (
+            build_cache.dataset_key("femnist", 0)
+        )
+        assert build_cache.dataset_key("a-9", 0) == build_cache.dataset_key("a9", 0)
+
+    def test_keys_separate_inputs(self):
+        keys = {
+            build_cache.dataset_key("mnist", 0),
+            build_cache.dataset_key("mnist", 1),
+            build_cache.dataset_key("mnist", 0, {"n_train": 64}),
+            build_cache.partition_key("abc", "iid", 10, 0),
+            build_cache.partition_key("abc", "iid", 10, 1),
+            build_cache.partition_key("abc", "dir(0.5)", 10, 0),
+        }
+        assert len(keys) == 6
+
+
+class TestDatasetCache:
+    def test_memo_hit_builds_once(self):
+        builder, calls = make_build()
+        key = build_cache.dataset_key("synthetic", 0)
+        first = build_cache.cached_dataset(key, builder)
+        second = build_cache.cached_dataset(key, builder)
+        assert len(calls) == 1
+        assert second[0] is first[0]
+        assert build_cache.stats() == {
+            "dataset_hits": 1, "dataset_disk_hits": 0, "dataset_misses": 1,
+            "partition_hits": 0, "partition_misses": 0,
+        }
+
+    def test_cached_arrays_are_read_only(self):
+        builder, _ = make_build()
+        train, test, _ = build_cache.cached_dataset("k", builder)
+        for ds in (train, test):
+            with pytest.raises(ValueError):
+                ds.features[0] = 0.0
+            with pytest.raises(ValueError):
+                ds.labels[0] = 0
+
+    def test_disk_spill_and_mmap_reload(self, tmp_path):
+        build_cache.set_spill_dir(tmp_path)
+        builder, calls = make_build()
+        train, test, info = build_cache.cached_dataset("deadbeef", builder)
+        assert (tmp_path / "deadbeef" / "meta.json").exists()
+
+        # A fresh process (memo cleared) must serve from disk, not rebuild.
+        build_cache.reset(spill_dir=False)
+        reloaded_train, reloaded_test, reloaded_info = (
+            build_cache.cached_dataset("deadbeef", builder)
+        )
+        assert len(calls) == 1
+        assert build_cache.stats()["dataset_disk_hits"] == 1
+        assert reloaded_info == info
+        np.testing.assert_array_equal(reloaded_train.features, train.features)
+        np.testing.assert_array_equal(reloaded_train.labels, train.labels)
+        np.testing.assert_array_equal(reloaded_test.features, test.features)
+        assert not reloaded_train.features.flags.writeable
+
+    def test_groups_round_trip(self, tmp_path):
+        build_cache.set_spill_dir(tmp_path)
+        rng = np.random.default_rng(3)
+
+        def builder():
+            features = rng.standard_normal((8, 2)).astype(np.float32)
+            labels = np.zeros(8, dtype=np.int64)
+            groups = np.arange(8, dtype=np.int64) % 3
+            ds = ArrayDataset(features, labels, groups)
+            info = DatasetInfo(
+                name="grouped", modality="tabular", num_classes=1,
+                input_shape=(2,), num_train=8, num_test=8,
+            )
+            return ds, ds, info
+
+        train, _, _ = build_cache.cached_dataset("grp", builder)
+        build_cache.reset(spill_dir=False)
+        reloaded, _, _ = build_cache.cached_dataset("grp", builder)
+        assert build_cache.stats()["dataset_disk_hits"] == 1
+        np.testing.assert_array_equal(reloaded.groups, train.groups)
+
+    def test_torn_entry_falls_back_to_rebuild(self, tmp_path):
+        build_cache.set_spill_dir(tmp_path)
+        builder, calls = make_build()
+        build_cache.cached_dataset("torn", builder)
+        (tmp_path / "torn" / "meta.json").write_text("{not json")
+        build_cache.reset(spill_dir=False)
+        build_cache.cached_dataset("torn", builder)
+        assert len(calls) == 2
+        assert build_cache.stats()["dataset_misses"] == 1
+
+    def test_no_spill_dir_stays_in_process(self):
+        builder, calls = make_build()
+        build_cache.cached_dataset("mem-only", builder)
+        build_cache.reset(spill_dir=False)
+        build_cache.cached_dataset("mem-only", builder)
+        assert len(calls) == 2
+
+    def test_memo_eviction_is_bounded(self):
+        builder, calls = make_build(n=4)
+        for i in range(build_cache._MEMO_MAX_ENTRIES + 5):
+            build_cache.cached_dataset(f"k{i}", builder)
+        assert len(build_cache._dataset_memo) == build_cache._MEMO_MAX_ENTRIES
+
+
+class TestPartitionCache:
+    @staticmethod
+    def draw(train, parties=4, seed=7):
+        return HomogeneousPartitioner().partition(
+            train, parties, np.random.default_rng(seed)
+        )
+
+    def test_partition_spill_round_trip(self, tmp_path):
+        build_cache.set_spill_dir(tmp_path)
+        builder, _ = make_build()
+        train, _, _ = build_cache.cached_dataset("ds", builder)
+        calls = []
+
+        def draw():
+            calls.append(1)
+            return self.draw(train)
+
+        first = build_cache.cached_partition("part", draw)
+        build_cache.reset(spill_dir=False)
+        second = build_cache.cached_partition("part", draw)
+        assert len(calls) == 1
+        assert build_cache.stats()["partition_hits"] == 1
+        assert second.num_parties == first.num_parties
+        assert second.strategy == first.strategy
+        np.testing.assert_array_equal(second.unassigned, first.unassigned)
+        for got, want in zip(second.indices, first.indices):
+            np.testing.assert_array_equal(got, want)
+
+    def test_feature_transforms_never_spill(self, tmp_path):
+        build_cache.set_spill_dir(tmp_path)
+        noisy = Partition(
+            indices=[np.arange(4), np.arange(4, 8)],
+            feature_transforms=[lambda x: x, lambda x: x + 1],
+        )
+        calls = []
+
+        def draw():
+            calls.append(1)
+            return noisy
+
+        assert build_cache.cached_partition("noisy", draw) is noisy
+        assert not (tmp_path / "noisy").exists()
+        # Memoized in-process...
+        assert build_cache.cached_partition("noisy", draw) is noisy
+        assert len(calls) == 1
+        # ...but a fresh process must redraw: closures don't serialize.
+        build_cache.reset(spill_dir=False)
+        build_cache.cached_partition("noisy", draw)
+        assert len(calls) == 2
+
+
+class TestStats:
+    def test_delta_drops_zero_entries(self):
+        before = build_cache.stats()
+        builder, _ = make_build()
+        build_cache.cached_dataset("s", builder)
+        build_cache.cached_dataset("s", builder)
+        delta = build_cache.stats_delta(before, build_cache.stats())
+        assert delta == {"dataset_hits": 1, "dataset_misses": 1}
+
+    def test_reset_clears_counters_memos_and_spill(self, tmp_path):
+        build_cache.set_spill_dir(tmp_path)
+        builder, _ = make_build()
+        build_cache.cached_dataset("r", builder)
+        build_cache.reset()
+        assert build_cache.spill_dir() is None
+        assert all(v == 0 for v in build_cache.stats().values())
+        assert not build_cache._dataset_memo
+
+
+class TestSchedulerIntegration:
+    """A re-invoked sweep does zero dataset regenerations."""
+
+    def test_reinvoked_sweep_serves_from_spill(self, tmp_path):
+        from repro.experiments.scale import ScalePreset
+        from repro.experiments.scheduler import BUILD_CACHE_DIR, run_cells
+        from repro.experiments.store import ResultStore
+        from repro.spec import RunSpec
+
+        preset = ScalePreset(
+            name="cache-test", n_train=120, n_test=60, num_rounds=1,
+            local_epochs=1, batch_size=32,
+        )
+        store = ResultStore(tmp_path)
+        first_wave = [
+            RunSpec.build("adult", "iid", "fedavg", preset=preset),
+            RunSpec.build("adult", "dir(0.5)", "fedavg", preset=preset),
+        ]
+        report = run_cells(first_wave, store=store, jobs=1)
+        report.raise_on_failure()
+        # One inline worker: the first cell builds, the second memo-hits.
+        assert report.build_cache["dataset_misses"] == 1
+        assert report.build_cache["dataset_hits"] == 1
+        assert report.build_cache["partition_misses"] == 2
+        assert (store.root / BUILD_CACHE_DIR).is_dir()
+
+        # New process, new cells over the same dataset+partitions: the
+        # spill serves every build, so nothing is regenerated.
+        build_cache.reset()
+        second_wave = first_wave + [
+            RunSpec.build("adult", "iid", "fedprox", preset=preset),
+            RunSpec.build("adult", "dir(0.5)", "scaffold", preset=preset),
+        ]
+        report = run_cells(second_wave, store=store, jobs=1)
+        report.raise_on_failure()
+        assert report.build_cache.get("dataset_misses", 0) == 0
+        assert report.build_cache.get("partition_misses", 0) == 0
+        assert report.build_cache.get("dataset_disk_hits", 0) >= 1
